@@ -1,0 +1,162 @@
+// Benchmark harness: one testing.B benchmark per reproduced table/figure
+// (E1–E12, quick profile — run cmd/experiments -profile full for the
+// EXPERIMENTS.md numbers) plus engine micro-benchmarks for the ablations
+// called out in DESIGN.md §5.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkE5 -benchtime=1x
+package plurality_test
+
+import (
+	"fmt"
+	"testing"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/core"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/expt"
+	"plurality/internal/graph"
+	"plurality/internal/rng"
+)
+
+// benchProfile keeps per-iteration time moderate; experiments are whole
+// sweeps, so -benchtime=1x is the intended usage.
+var benchProfile = expt.Profile{Name: "bench", N: 10_000, Reps: 4}
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := expt.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(benchProfile, uint64(2014+i))
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no data", id)
+		}
+	}
+}
+
+func BenchmarkE1UpperBound(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2Polylog(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3LowerBound(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4RuleZoo(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE5HPlurality(b *testing.B)    { benchExperiment(b, "E5") }
+func BenchmarkE6BiasTightness(b *testing.B) { benchExperiment(b, "E6") }
+func BenchmarkE7MedianGap(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8Adversary(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9Phases(b *testing.B)        { benchExperiment(b, "E9") }
+func BenchmarkE10Polling(b *testing.B)      { benchExperiment(b, "E10") }
+func BenchmarkE11Undecided(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12Drift(b *testing.B)        { benchExperiment(b, "E12") }
+func BenchmarkE13KeepOwn(b *testing.B)      { benchExperiment(b, "E13") }
+func BenchmarkE14Topologies(b *testing.B)   { benchExperiment(b, "E14") }
+func BenchmarkE15Ablations(b *testing.B)    { benchExperiment(b, "E15") }
+func BenchmarkE16Asynchronous(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkE17ExactChain(b *testing.B)   { benchExperiment(b, "E17") }
+func BenchmarkE18MeanField(b *testing.B)    { benchExperiment(b, "E18") }
+func BenchmarkE19Faults(b *testing.B)       { benchExperiment(b, "E19") }
+
+// ----- engine micro-benchmarks (ablations of DESIGN.md §5) -----
+
+// BenchmarkEngineMultinomialRound measures the exact O(k) engine: one
+// round at n = 10^6 for growing k.
+func BenchmarkEngineMultinomialRound(b *testing.B) {
+	for _, k := range []int{2, 16, 128, 1024} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			r := rng.New(1)
+			e := engine.NewCliqueMultinomial(dynamics.ThreeMajority{},
+				colorcfg.Biased(1_000_000, k, 10_000))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step(r)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSampledRound measures the agent-sampling engine at
+// n = 100k across worker counts (parallel scaling ablation).
+func BenchmarkEngineSampledRound(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", workers), func(b *testing.B) {
+			r := rng.New(1)
+			e := engine.NewCliqueSampled(dynamics.ThreeMajority{},
+				colorcfg.Biased(100_000, 16, 1_000), workers, 7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step(r)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineGraphRound measures the per-vertex engine on the clique
+// and on a random regular graph.
+func BenchmarkEngineGraphRound(b *testing.B) {
+	const n = 100_000
+	layout := rng.New(3)
+	builders := map[string]graph.Graph{
+		"clique":    graph.NewComplete(n),
+		"8-regular": graph.NewRandomRegular(n, 8, rng.New(2)),
+	}
+	for name, g := range builders {
+		b.Run(name, func(b *testing.B) {
+			e := engine.NewGraphEngine(dynamics.ThreeMajority{}, g,
+				colorcfg.Biased(n, 8, 1_000), 4, 11, layout)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step(nil)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineUndecidedRound measures the exact undecided-state engine.
+func BenchmarkEngineUndecidedRound(b *testing.B) {
+	r := rng.New(1)
+	e := engine.NewUndecidedExact(colorcfg.Biased(1_000_000, 64, 10_000))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Step(r)
+	}
+}
+
+// BenchmarkTieBreakVariants compares the two tie-break implementations
+// (the paper notes they realize the same process; the bench shows the
+// uniform variant's extra randomness cost).
+func BenchmarkTieBreakVariants(b *testing.B) {
+	for name, rule := range map[string]dynamics.Rule{
+		"first":   dynamics.ThreeMajority{},
+		"uniform": dynamics.ThreeMajority{UniformTie: true},
+	} {
+		b.Run(name, func(b *testing.B) {
+			r := rng.New(1)
+			s := []colorcfg.Color{3, 1, 2}
+			var sink colorcfg.Color
+			for i := 0; i < b.N; i++ {
+				sink += rule.Apply(s, r)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkFullRunConvergence measures an end-to-end Run to consensus at
+// n = 10^6 (the headline workload of examples/quickstart).
+func BenchmarkFullRunConvergence(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := int64(1_000_000)
+		init := colorcfg.Biased(n, 16, core.Corollary1Bias(n, 16, 1.0))
+		e := engine.NewCliqueMultinomial(dynamics.ThreeMajority{}, init)
+		res := core.Run(e, core.Options{MaxRounds: 10_000, Rand: rng.New(uint64(i))})
+		if !res.WonInitialPlurality {
+			b.Fatal("benchmark run failed to converge")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command experiments regenerates the paper-reproduction tables E1–E12
+// (see DESIGN.md §4 for the experiment index). By default it runs every
+// experiment with the quick profile and prints aligned text tables;
+// -profile full produces the EXPERIMENTS.md numbers, and -format md/csv
+// switches the output format.
+//
+//	experiments                      # all experiments, quick profile
+//	experiments -id E5               # one experiment
+//	experiments -profile full -format md > results.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"plurality/internal/expt"
+)
+
+func main() {
+	var (
+		id      = flag.String("id", "all", "experiment id (E1..E19) or 'all'")
+		profile = flag.String("profile", "quick", "workload profile: quick | full")
+		format  = flag.String("format", "text", "output format: text | md | csv")
+		seed    = flag.Uint64("seed", 2014, "base random seed (2014 = SPAA year of the paper)")
+		workers = flag.Int("workers", 0, "replicate parallelism (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list the registered experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var p expt.Profile
+	switch *profile {
+	case "quick":
+		p = expt.Quick
+	case "full":
+		p = expt.Full
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown profile %q\n", *profile)
+		os.Exit(1)
+	}
+	p.Workers = *workers
+
+	var toRun []expt.Experiment
+	if *id == "all" {
+		toRun = expt.All()
+	} else {
+		e, ok := expt.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", *id)
+			os.Exit(1)
+		}
+		toRun = []expt.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		tables := e.Run(p, *seed)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		for _, t := range tables {
+			switch *format {
+			case "md":
+				fmt.Println(t.Markdown())
+			case "csv":
+				fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+			default:
+				fmt.Println(t.Text())
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", e.ID, elapsed)
+	}
+}

@@ -1,0 +1,266 @@
+// Command plurality runs a single plurality-consensus process and prints
+// its trajectory and outcome.
+//
+// Examples:
+//
+//	plurality -n 100000 -k 8 -bias auto
+//	plurality -rule median -n 100000 -k 32 -bias 2000 -trace
+//	plurality -rule hplurality:9 -engine sampled -n 50000 -k 16 -bias auto
+//	plurality -rule undecided -n 100000 -k 8 -bias 20000
+//	plurality -engine graph -graph torus -n 10000 -k 4 -bias 2000
+//	plurality -adversary strongest:200 -n 200000 -k 4 -bias auto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"plurality/internal/adversary"
+	"plurality/internal/colorcfg"
+	"plurality/internal/core"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/graph"
+	"plurality/internal/rng"
+	"plurality/internal/trace"
+)
+
+func main() {
+	var (
+		ruleName  = flag.String("rule", "3majority", "dynamics: 3majority | 3majority-utie | hplurality:H | median | polling | 2choices | 2choices-keepown | undecided")
+		engName   = flag.String("engine", "auto", "engine: auto | multinomial | sampled | graph | population")
+		graphName = flag.String("graph", "complete", "topology for -engine graph: complete | cycle | torus | star | regular:D | gnp:P")
+		n         = flag.Int64("n", 100_000, "number of agents")
+		k         = flag.Int("k", 8, "number of colors")
+		biasFlag  = flag.String("bias", "auto", "initial additive bias (integer) or 'auto' for the Corollary 1 threshold")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		maxRounds = flag.Int("max-rounds", 1_000_000, "round budget")
+		advName   = flag.String("adversary", "none", "adversary: none | strongest:F | spread:F | random:F | boost:F")
+		workers   = flag.Int("workers", 4, "worker goroutines for the sampled/graph engines")
+		trace     = flag.Bool("trace", false, "print the configuration every round")
+		mPlur     = flag.Int64("m-plurality", -1, "stop at M-plurality consensus instead of full consensus")
+		dumpPath  = flag.String("dump-trajectory", "", "write the per-round trajectory to this CSV file")
+		phases    = flag.Bool("phases", false, "print the Lemma 3/4/5 phase segmentation after the run")
+	)
+	flag.Parse()
+
+	if err := run(*ruleName, *engName, *graphName, *n, *k, *biasFlag, *seed,
+		*maxRounds, *advName, *workers, *trace, *mPlur, *dumpPath, *phases); err != nil {
+		fmt.Fprintln(os.Stderr, "plurality:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ruleName, engName, graphName string, n int64, k int, biasFlag string,
+	seed uint64, maxRounds int, advName string, workers int, traceRounds bool,
+	mPlur int64, dumpPath string, phases bool) error {
+
+	bias, err := parseBias(biasFlag, n, k)
+	if err != nil {
+		return err
+	}
+	init := colorcfg.Biased(n, k, bias)
+
+	r := rng.New(seed)
+
+	// The undecided-state protocol and the keep-own rules are stateful and
+	// have dedicated engines.
+	var eng engine.Engine
+	if ruleName == "undecided" {
+		eng = engine.NewUndecidedExact(init)
+	} else if ruleName == "2choices-keepown" {
+		eng = engine.NewCliqueMarkov(dynamics.TwoChoicesKeepOwn{}, init)
+	} else {
+		rule, err := parseRule(ruleName)
+		if err != nil {
+			return err
+		}
+		eng, err = buildEngine(engName, graphName, rule, init, workers, seed, r)
+		if err != nil {
+			return err
+		}
+	}
+
+	adv, err := parseAdversary(advName)
+	if err != nil {
+		return err
+	}
+
+	stop := core.WhenConsensusOf(n)
+	if mPlur >= 0 {
+		stop = core.WhenMPlurality(n, mPlur)
+	}
+
+	var rec *trace.Recorder
+	if dumpPath != "" || phases {
+		rec = trace.NewRecorder(n)
+		rec.ObserveInitial(init)
+	}
+	opts := core.Options{
+		MaxRounds: maxRounds,
+		Rand:      r,
+		Adversary: adv,
+		Stop:      stop,
+		TrackBias: true,
+	}
+	opts.OnRound = func(round int, c colorcfg.Config) {
+		if rec != nil {
+			rec.Observe(round, c)
+		}
+		if traceRounds {
+			first, second := c.TopTwo()
+			fmt.Printf("round %5d  top=%d  c1=%d  c2=%d  bias=%d  support=%d\n",
+				round, c.Plurality(), first, second, c.Bias(), c.Support())
+		}
+	}
+
+	fmt.Printf("engine: %s\n", eng.Name())
+	fmt.Printf("start:  n=%d k=%d bias=%d (cor1 threshold: %d)\n",
+		n, k, bias, core.Corollary1Bias(n, k, 1.0))
+	res := core.Run(eng, opts)
+
+	fmt.Printf("rounds: %d (stopped=%v)\n", res.Rounds, res.Stopped)
+	fmt.Printf("winner: color %d (initial plurality %d, won=%v)\n",
+		res.Winner, res.InitialPlurality, res.WonInitialPlurality)
+	first, _ := res.Final.TopTwo()
+	fmt.Printf("final:  c_max=%d/%d minority-mass=%d\n", first, n, n-first)
+	lambda := core.Lambda(n, k)
+	fmt.Printf("theory: λ=%.3g, predicted O(λ·ln n)=%.0f rounds\n",
+		lambda, core.UpperBoundRounds(n, lambda, 1))
+	if phases && rec != nil {
+		fmt.Printf("\nphase segmentation (Lemmas 3/4/5):\n%s", rec.Summary())
+	}
+	if dumpPath != "" && rec != nil {
+		f, err := os.Create(dumpPath)
+		if err != nil {
+			return fmt.Errorf("dump trajectory: %w", err)
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return fmt.Errorf("dump trajectory: %w", err)
+		}
+		fmt.Printf("trajectory: %d rounds written to %s\n", rec.Len(), dumpPath)
+	}
+	return nil
+}
+
+func parseBias(s string, n int64, k int) (int64, error) {
+	if s == "auto" {
+		return core.Corollary1Bias(n, k, 1.0), nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -bias %q: %v", s, err)
+	}
+	return v, nil
+}
+
+func parseRule(s string) (dynamics.Rule, error) {
+	switch {
+	case s == "3majority":
+		return dynamics.ThreeMajority{}, nil
+	case s == "3majority-utie":
+		return dynamics.ThreeMajority{UniformTie: true}, nil
+	case s == "median":
+		return dynamics.Median{}, nil
+	case s == "polling":
+		return dynamics.Polling{}, nil
+	case s == "2choices":
+		return dynamics.TwoChoices{}, nil
+	case strings.HasPrefix(s, "hplurality:"):
+		h, err := strconv.Atoi(strings.TrimPrefix(s, "hplurality:"))
+		if err != nil || h < 1 {
+			return nil, fmt.Errorf("bad h in %q", s)
+		}
+		return dynamics.NewHPlurality(h), nil
+	}
+	return nil, fmt.Errorf("unknown rule %q", s)
+}
+
+func buildEngine(engName, graphName string, rule dynamics.Rule, init colorcfg.Config,
+	workers int, seed uint64, r *rng.Rand) (engine.Engine, error) {
+	if engName == "auto" {
+		if _, ok := rule.(dynamics.ProbModel); ok {
+			engName = "multinomial"
+		} else {
+			engName = "sampled"
+		}
+	}
+	switch engName {
+	case "multinomial":
+		return engine.NewCliqueMultinomial(rule, init), nil
+	case "sampled":
+		return engine.NewCliqueSampled(rule, init, workers, seed^0xdead), nil
+	case "population":
+		return engine.NewPopulation(rule, init), nil
+	case "graph":
+		g, err := parseGraph(graphName, init.N(), r)
+		if err != nil {
+			return nil, err
+		}
+		return engine.NewGraphEngine(rule, g, init, workers, seed^0xbeef, r), nil
+	}
+	return nil, fmt.Errorf("unknown engine %q", engName)
+}
+
+func parseGraph(s string, n int64, r *rng.Rand) (graph.Graph, error) {
+	switch {
+	case s == "complete":
+		return graph.NewComplete(n), nil
+	case s == "cycle":
+		return graph.NewCycle(n), nil
+	case s == "star":
+		return graph.NewStar(n), nil
+	case s == "torus":
+		// Nearest square torus; require exact fit.
+		side := int64(1)
+		for side*side < n {
+			side++
+		}
+		if side*side != n {
+			return nil, fmt.Errorf("torus needs square n, got %d", n)
+		}
+		return graph.NewTorus(side, side), nil
+	case strings.HasPrefix(s, "regular:"):
+		d, err := strconv.Atoi(strings.TrimPrefix(s, "regular:"))
+		if err != nil {
+			return nil, fmt.Errorf("bad degree in %q", s)
+		}
+		return graph.NewRandomRegular(n, d, r), nil
+	case strings.HasPrefix(s, "gnp:"):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(s, "gnp:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad p in %q", s)
+		}
+		return graph.NewErdosRenyi(n, p, r), nil
+	}
+	return nil, fmt.Errorf("unknown graph %q", s)
+}
+
+func parseAdversary(s string) (adversary.Adversary, error) {
+	if s == "none" {
+		return adversary.None{}, nil
+	}
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("adversary %q needs a budget, e.g. strongest:100", s)
+	}
+	f, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || f < 0 {
+		return nil, fmt.Errorf("bad adversary budget in %q", s)
+	}
+	switch parts[0] {
+	case "strongest":
+		return adversary.Strongest{F: f}, nil
+	case "spread":
+		return adversary.Spread{F: f}, nil
+	case "random":
+		return adversary.Random{F: f}, nil
+	case "boost":
+		return adversary.Boost{F: f}, nil
+	}
+	return nil, fmt.Errorf("unknown adversary %q", parts[0])
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"testing"
+
+	"plurality/internal/rng"
+)
+
+func TestParseRule(t *testing.T) {
+	good := map[string]string{
+		"3majority":      "3-majority",
+		"3majority-utie": "3-majority(uniform-tie)",
+		"median":         "median",
+		"polling":        "polling",
+		"2choices":       "2-choices",
+		"hplurality:7":   "7-plurality",
+	}
+	for in, want := range good {
+		r, err := parseRule(in)
+		if err != nil {
+			t.Errorf("parseRule(%q): %v", in, err)
+			continue
+		}
+		if r.Name() != want {
+			t.Errorf("parseRule(%q).Name() = %q, want %q", in, r.Name(), want)
+		}
+	}
+	for _, bad := range []string{"", "nope", "hplurality:", "hplurality:0", "hplurality:x"} {
+		if _, err := parseRule(bad); err == nil {
+			t.Errorf("parseRule(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseBias(t *testing.T) {
+	if v, err := parseBias("123", 1000, 4); err != nil || v != 123 {
+		t.Errorf("explicit bias: %v %v", v, err)
+	}
+	if v, err := parseBias("auto", 100000, 4); err != nil || v <= 0 {
+		t.Errorf("auto bias: %v %v", v, err)
+	}
+	if _, err := parseBias("abc", 100, 2); err == nil {
+		t.Error("bad bias accepted")
+	}
+}
+
+func TestParseGraph(t *testing.T) {
+	r := rng.New(1)
+	cases := map[string]string{
+		"complete":  "complete+self",
+		"cycle":     "cycle",
+		"star":      "star",
+		"torus":     "torus",
+		"regular:4": "random-4-regular",
+		"gnp:0.3":   "gnp(p=0.3)",
+	}
+	for in, want := range cases {
+		n := int64(100)
+		g, err := parseGraph(in, n, r)
+		if err != nil {
+			t.Errorf("parseGraph(%q): %v", in, err)
+			continue
+		}
+		if g.Name() != want {
+			t.Errorf("parseGraph(%q).Name() = %q, want %q", in, g.Name(), want)
+		}
+	}
+	if _, err := parseGraph("torus", 101, r); err == nil {
+		t.Error("non-square torus accepted")
+	}
+	for _, bad := range []string{"nope", "regular:x", "gnp:y"} {
+		if _, err := parseGraph(bad, 100, r); err == nil {
+			t.Errorf("parseGraph(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseAdversary(t *testing.T) {
+	for in, wantBudget := range map[string]int64{
+		"strongest:5": 5, "spread:7": 7, "random:9": 9, "boost:3": 3,
+	} {
+		a, err := parseAdversary(in)
+		if err != nil {
+			t.Errorf("parseAdversary(%q): %v", in, err)
+			continue
+		}
+		if a.Budget() != wantBudget {
+			t.Errorf("parseAdversary(%q).Budget() = %d", in, a.Budget())
+		}
+	}
+	if a, err := parseAdversary("none"); err != nil || a.Budget() != 0 {
+		t.Error("none adversary broken")
+	}
+	for _, bad := range []string{"strongest", "strongest:-1", "strongest:x", "nope:5"} {
+		if _, err := parseAdversary(bad); err == nil {
+			t.Errorf("parseAdversary(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Small end-to-end run through the CLI plumbing (no flags).
+	err := run("3majority", "auto", "complete", 2000, 3, "auto", 1, 10000,
+		"none", 2, false, -1, "", false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Undecided path.
+	err = run("undecided", "auto", "complete", 2000, 3, "500", 1, 10000,
+		"none", 2, false, -1, "", false)
+	if err != nil {
+		t.Fatalf("run undecided: %v", err)
+	}
+	// Keep-own path with adversary and M-plurality stop.
+	err = run("2choices-keepown", "auto", "complete", 2000, 3, "auto", 1, 10000,
+		"strongest:2", 2, false, 50, "", true)
+	if err != nil {
+		t.Fatalf("run keep-own: %v", err)
+	}
+	// Error paths.
+	if err := run("nope", "auto", "complete", 100, 2, "auto", 1, 10, "none", 1, false, -1, "", false); err == nil {
+		t.Error("bad rule accepted")
+	}
+	if err := run("3majority", "nope", "complete", 100, 2, "auto", 1, 10, "none", 1, false, -1, "", false); err == nil {
+		t.Error("bad engine accepted")
+	}
+}

@@ -1,0 +1,140 @@
+// Command sweep runs a parameter grid of plurality-consensus processes and
+// emits one CSV row per (rule, n, k, bias-multiplier) cell with mean
+// rounds, success rate and a 95% Wilson interval — the raw material for
+// custom plots beyond the canned experiments of cmd/experiments.
+//
+//	sweep -rules 3majority,median -ns 10000,100000 -ks 2,8,32 -cs 0.5,1,2 -reps 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/core"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/rng"
+	"plurality/internal/stats"
+)
+
+func main() {
+	var (
+		rules = flag.String("rules", "3majority", "comma-separated rules: 3majority | median | polling | 2choices | hplurality:H")
+		ns    = flag.String("ns", "100000", "comma-separated population sizes")
+		ks    = flag.String("ks", "2,8,32", "comma-separated color counts")
+		cs    = flag.String("cs", "1", "comma-separated bias multipliers applied to the Cor-1 threshold")
+		reps  = flag.Int("reps", 20, "replicates per cell")
+		seed  = flag.Uint64("seed", 1, "base seed")
+		cap   = flag.Int("max-rounds", 200_000, "round budget per run")
+	)
+	flag.Parse()
+
+	if err := sweep(*rules, *ns, *ks, *cs, *reps, *seed, *cap); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func sweep(rulesCSV, nsCSV, ksCSV, csCSV string, reps int, seed uint64, maxRounds int) error {
+	ruleNames := strings.Split(rulesCSV, ",")
+	nVals, err := parseInts(nsCSV)
+	if err != nil {
+		return err
+	}
+	kVals, err := parseInts(ksCSV)
+	if err != nil {
+		return err
+	}
+	cVals, err := parseFloats(csCSV)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("rule,n,k,bias_mult,bias,reps,rounds_mean,rounds_std,success_rate,wilson_lo,wilson_hi")
+	base := rng.New(seed)
+	for _, ruleName := range ruleNames {
+		rule, err := parseRule(strings.TrimSpace(ruleName))
+		if err != nil {
+			return err
+		}
+		for _, n := range nVals {
+			for _, k := range kVals {
+				for _, c := range cVals {
+					s := core.Corollary1Bias(n, int(k), c)
+					rounds := make([]float64, 0, reps)
+					wins := 0
+					for rep := 0; rep < reps; rep++ {
+						init := colorcfg.Biased(n, int(k), s)
+						var e engine.Engine
+						if _, ok := rule.(dynamics.ProbModel); ok {
+							e = engine.NewCliqueMultinomial(rule, init)
+						} else {
+							e = engine.NewCliqueSampled(rule, init, 4, base.Uint64())
+						}
+						res := core.Run(e, core.Options{MaxRounds: maxRounds, Rand: base.NewStream()})
+						rounds = append(rounds, float64(res.Rounds))
+						if res.WonInitialPlurality {
+							wins++
+						}
+					}
+					sum := stats.Summarize(rounds)
+					lo, hi := stats.WilsonInterval(wins, reps, 1.96)
+					fmt.Printf("%s,%d,%d,%g,%d,%d,%.2f,%.2f,%.3f,%.3f,%.3f\n",
+						rule.Name(), n, k, c, s, reps, sum.Mean, sum.Std,
+						float64(wins)/float64(reps), lo, hi)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func parseRule(s string) (dynamics.Rule, error) {
+	switch {
+	case s == "3majority":
+		return dynamics.ThreeMajority{}, nil
+	case s == "median":
+		return dynamics.Median{}, nil
+	case s == "polling":
+		return dynamics.Polling{}, nil
+	case s == "2choices":
+		return dynamics.TwoChoices{}, nil
+	case strings.HasPrefix(s, "hplurality:"):
+		h, err := strconv.Atoi(strings.TrimPrefix(s, "hplurality:"))
+		if err != nil || h < 1 {
+			return nil, fmt.Errorf("bad h in %q", s)
+		}
+		return dynamics.NewHPlurality(h), nil
+	}
+	return nil, fmt.Errorf("unknown rule %q", s)
+}
+
+func parseInts(csv string) ([]int64, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

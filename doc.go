@@ -1,0 +1,19 @@
+// Package plurality is a Go reproduction of "Simple Dynamics for Plurality
+// Consensus" (Becchetti, Clementi, Natale, Pasquale, Silvestri, Trevisan —
+// SPAA 2014; Distributed Computing 30(4), 2017).
+//
+// The library implements the paper's 3-majority dynamics together with
+// every comparator it discusses (h-plurality, median, polling, 2-choices,
+// the 3-input rule class of Theorem 3, and the undecided-state dynamics),
+// exact configuration-level and agent-level simulation engines for the
+// clique and general topologies, the F-bounded dynamic adversary of
+// Corollary 4, and a benchmark harness (internal/expt, cmd/experiments)
+// that regenerates every theorem-level result as a table — see DESIGN.md
+// for the system inventory and EXPERIMENTS.md for paper-vs-measured
+// outcomes.
+//
+// Start with examples/quickstart, or:
+//
+//	go run ./cmd/plurality -n 1000000 -k 16 -bias auto
+//	go run ./cmd/experiments -profile quick
+package plurality

@@ -1,0 +1,90 @@
+// Compare: the four dynamics discussed in the paper on the same input —
+// 3-majority (solves plurality), median (fast but answers the median, not
+// the plurality), polling (fails with constant probability), and the
+// undecided-state dynamics (fast when the monochromatic distance is small).
+//
+//	go run ./examples/compare
+package main
+
+import (
+	"fmt"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/core"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/rng"
+)
+
+const (
+	n    = 200_000
+	k    = 32
+	reps = 20
+)
+
+func main() {
+	// Corollary-1 bias toward color 0: ample for 3-majority, irrelevant to
+	// the median rule (whose fixed point is the middle of the color range)
+	// and far too small to decide the polling lottery.
+	s := core.Corollary1Bias(n, k, 1.0)
+	mkInit := func() colorcfg.Config { return colorcfg.Biased(n, k, s) }
+	init := mkInit()
+	fmt.Printf("input: n=%d, k=%d, plurality=color %d, bias=%d, md(c)=%.1f\n\n",
+		n, k, init.Plurality(), init.Bias(), init.MonochromaticDistance())
+	fmt.Printf("%-22s %12s %14s %10s\n", "dynamics", "mean rounds", "won plurality", "winner(s)")
+
+	type runner struct {
+		name string
+		mk   func() engine.Engine
+	}
+	runners := []runner{
+		{"3-majority", func() engine.Engine {
+			return engine.NewCliqueMultinomial(dynamics.ThreeMajority{}, mkInit())
+		}},
+		{"median (Doerr et al.)", func() engine.Engine {
+			return engine.NewCliqueMultinomial(dynamics.Median{}, mkInit())
+		}},
+		{"polling (voter)", func() engine.Engine {
+			return engine.NewCliqueMultinomial(dynamics.Polling{}, mkInit())
+		}},
+		{"undecided-state", func() engine.Engine {
+			return engine.NewUndecidedExact(mkInit())
+		}},
+	}
+
+	base := rng.New(7)
+	for _, rn := range runners {
+		var totalRounds float64
+		wins := 0
+		winners := map[colorcfg.Color]int{}
+		for rep := 0; rep < reps; rep++ {
+			res := core.Run(rn.mk(), core.Options{
+				MaxRounds: 500_000,
+				Rand:      base.NewStream(),
+				Stop:      core.WhenConsensusOf(n),
+			})
+			totalRounds += float64(res.Rounds)
+			if res.WonInitialPlurality {
+				wins++
+			}
+			winners[res.Winner]++
+		}
+		fmt.Printf("%-22s %12.1f %11d/%d    %v\n",
+			rn.name, totalRounds/reps, wins, reps, topWinners(winners))
+	}
+
+	fmt.Println("\nreading: median stabilizes in O(log n) but on the median color;")
+	fmt.Println("polling is a lottery; 3-majority takes Θ(k·log n) and gets it right.")
+}
+
+// topWinners renders the winner histogram compactly.
+func topWinners(w map[colorcfg.Color]int) string {
+	out := ""
+	for c, cnt := range w {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("c%d×%d", c, cnt)
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+// Exactchain: for small systems the configuration Markov chain can be
+// solved exactly (no sampling). This example prints, for every 3-input
+// dynamics with a closed form, the exact probability of reaching each
+// color and the exact expected number of rounds from the same start —
+// including the voter martingale as an analytic sanity check.
+//
+//	go run ./examples/exactchain
+package main
+
+import (
+	"fmt"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
+	"plurality/internal/exact"
+)
+
+func main() {
+	n := int64(18)
+	start := colorcfg.FromCounts(8, 6, 4)
+	fmt.Printf("exact absorbing-chain analysis: n=%d, start %v\n", n, []int64(start))
+	fmt.Printf("state space: %d configurations\n\n", exact.New(n, 3, dynamics.Polling{}).States())
+	fmt.Printf("%-12s %-28s %s\n", "dynamics", "P(win) per color", "E[rounds]")
+
+	models := []struct {
+		name  string
+		model dynamics.ProbModel
+	}{
+		{"3-majority", dynamics.ThreeMajority{}},
+		{"median", dynamics.Median{}},
+		{"polling", dynamics.Polling{}},
+	}
+	for _, m := range models {
+		chain := exact.New(n, 3, m.model)
+		probs, time := chain.AbsorptionFrom(start)
+		fmt.Printf("%-12s (%.4f, %.4f, %.4f)     %.3f\n",
+			m.name, probs[0], probs[1], probs[2], time)
+	}
+
+	fmt.Println("\nreading: polling's row is exactly the martingale (8/18, 6/18, 4/18) =")
+	fmt.Println("(0.4444, 0.3333, 0.2222); 3-majority amplifies the plurality's advantage")
+	fmt.Println("well beyond proportionality and finishes ~4x sooner; median favors the")
+	fmt.Println("middle color (color 1 is both runner-up and median here, so it gains).")
+}

@@ -1,0 +1,66 @@
+// Topologies: the paper analyzes the clique; this extension runs the same
+// 3-majority rule with local neighbor sampling on sparser topologies and
+// shows how expansion governs convergence: the clique and a random regular
+// graph (an expander) behave alike, while the torus is slower and the cycle
+// effectively freezes into segments.
+//
+//	go run ./examples/topologies
+package main
+
+import (
+	"fmt"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/core"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/graph"
+	"plurality/internal/rng"
+)
+
+func main() {
+	const (
+		n     = 10_000 // 100×100 torus
+		k     = 4
+		bias  = 1_500
+		reps  = 5
+		limit = 20_000
+	)
+	layout := rng.New(1)
+	builders := []struct {
+		name string
+		mk   func(r *rng.Rand) graph.Graph
+	}{
+		{"clique (paper)", func(r *rng.Rand) graph.Graph { return graph.NewComplete(n) }},
+		{"random 8-regular", func(r *rng.Rand) graph.Graph { return graph.NewRandomRegular(n, 8, r) }},
+		{"G(n, 16/n)", func(r *rng.Rand) graph.Graph { return graph.NewErdosRenyi(n, 16.0/float64(n), r) }},
+		{"torus 100×100", func(r *rng.Rand) graph.Graph { return graph.NewTorus(100, 100) }},
+		{"cycle", func(r *rng.Rand) graph.Graph { return graph.NewCycle(n) }},
+	}
+
+	fmt.Printf("3-majority with local sampling: n=%d, k=%d, bias=%d, %d reps, cap %d rounds\n\n",
+		n, k, bias, reps, limit)
+	fmt.Printf("%-18s %-12s %-12s %s\n", "topology", "converged", "mean rounds", "mean final c_max/n")
+
+	for _, b := range builders {
+		conv := 0
+		var rounds, share float64
+		for rep := 0; rep < reps; rep++ {
+			r := rng.New(uint64(rep) + 7)
+			g := b.mk(r)
+			e := engine.NewGraphEngine(dynamics.ThreeMajority{}, g,
+				colorcfg.Biased(n, k, bias), 4, uint64(rep)<<8, layout)
+			res := core.Run(e, core.Options{MaxRounds: limit, Rand: r})
+			if res.Stopped {
+				conv++
+			}
+			rounds += float64(res.Rounds) / reps
+			first, _ := res.Final.TopTwo()
+			share += float64(first) / float64(n) / reps
+		}
+		fmt.Printf("%-18s %6d/%d %14.0f %17.3f\n", b.name, conv, reps, rounds, share)
+	}
+
+	fmt.Println("\nreading: good expanders mimic the clique's O(λ log n); the torus pays a")
+	fmt.Println("polynomial mixing penalty; the cycle coarsens locally and stalls at the cap.")
+}

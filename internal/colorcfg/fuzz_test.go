@@ -1,0 +1,49 @@
+package colorcfg
+
+import "testing"
+
+// FuzzBiased checks the Biased generator's contract over arbitrary inputs.
+func FuzzBiased(f *testing.F) {
+	f.Add(int64(100), 4, int64(10))
+	f.Add(int64(1), 1, int64(0))
+	f.Add(int64(1000), 7, int64(999))
+	f.Fuzz(func(t *testing.T, n int64, k int, s int64) {
+		if n <= 0 || n > 1_000_000 || k <= 0 || k > 1024 || s < 0 || s > n {
+			return
+		}
+		c := Biased(n, k, s)
+		if err := c.Validate(n); err != nil {
+			t.Fatal(err)
+		}
+		if k > 1 && c.Plurality() != 0 {
+			t.Fatalf("plurality %d, want 0", c.Plurality())
+		}
+		if c.Bias() < s-1 {
+			t.Fatalf("bias %d below requested %d", c.Bias(), s)
+		}
+	})
+}
+
+// FuzzAgentsRoundTrip checks ToAgents/FromAgents are inverse.
+func FuzzAgentsRoundTrip(f *testing.F) {
+	f.Add([]byte{3, 0, 5})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 || len(raw) > 32 {
+			return
+		}
+		c := New(len(raw))
+		var n int64
+		for i, b := range raw {
+			c[i] = int64(b)
+			n += int64(b)
+		}
+		if n == 0 {
+			return
+		}
+		back := FromAgents(c.ToAgents(nil), len(raw))
+		if !c.Equal(back) {
+			t.Fatalf("round trip %v -> %v", []int64(c), []int64(back))
+		}
+	})
+}

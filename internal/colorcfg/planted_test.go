@@ -1,0 +1,78 @@
+package colorcfg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlantedLeader(t *testing.T) {
+	c := PlantedLeader(1000, 5, 600)
+	if err := c.Validate(1000); err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 600 {
+		t.Fatalf("leader = %d, want 600", c[0])
+	}
+	for j := 1; j < 5; j++ {
+		if c[j] != 100 {
+			t.Fatalf("follower %d = %d, want 100", j, c[j])
+		}
+	}
+}
+
+func TestPlantedLeaderRemainder(t *testing.T) {
+	c := PlantedLeader(10, 4, 3)
+	if err := c.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 3 {
+		t.Fatalf("leader = %d", c[0])
+	}
+	// Rest = 7 over 3 colors: 3, 2, 2.
+	if c[1] != 3 || c[2] != 2 || c[3] != 2 {
+		t.Fatalf("followers = %v", []int64(c)[1:])
+	}
+}
+
+func TestPlantedLeaderProperty(t *testing.T) {
+	f := func(nRaw uint16, kRaw, c1Raw uint8) bool {
+		n := int64(nRaw) + 2
+		k := int(kRaw%10) + 2
+		c1 := int64(c1Raw) % (n + 1)
+		c := PlantedLeader(n, k, c1)
+		if c.Validate(n) != nil || c[0] != c1 {
+			return false
+		}
+		// Followers within 1 of each other.
+		var lo, hi int64 = int64(^uint64(0) >> 1), -1
+		for j := 1; j < k; j++ {
+			if c[j] < lo {
+				lo = c[j]
+			}
+			if c[j] > hi {
+				hi = c[j]
+			}
+		}
+		return hi-lo <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlantedLeaderPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"k1":    func() { PlantedLeader(10, 1, 5) },
+		"negC1": func() { PlantedLeader(10, 3, -1) },
+		"bigC1": func() { PlantedLeader(10, 3, 11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

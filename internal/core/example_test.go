@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/core"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/rng"
+)
+
+// ExampleRun demonstrates the basic workflow: build a biased configuration,
+// pick the exact clique engine, and run to consensus.
+func ExampleRun() {
+	init := colorcfg.Biased(100_000, 8, core.Corollary1Bias(100_000, 8, 1.0))
+	eng := engine.NewCliqueMultinomial(dynamics.ThreeMajority{}, init)
+	res := core.Run(eng, core.Options{MaxRounds: 10_000, Rand: rng.New(7)})
+	fmt.Println("winner:", res.Winner, "won plurality:", res.WonInitialPlurality)
+	// Output:
+	// winner: 0 won plurality: true
+}
+
+// ExampleExpectedNext shows Lemma 1's closed form.
+func ExampleExpectedNext() {
+	c := colorcfg.FromCounts(50, 30, 20)
+	mu := core.ExpectedNext(c)
+	fmt.Printf("%.1f %.1f %.1f\n", mu[0], mu[1], mu[2])
+	// Output:
+	// 56.0 27.6 16.4
+}
+
+// ExampleLambda shows the Corollary 1 parameter.
+func ExampleLambda() {
+	fmt.Println(core.Lambda(1_000_000, 3))
+	// Output:
+	// 6
+}
+
+// ExampleWhenMPlurality shows the Section 3.1 stopping rule.
+func ExampleWhenMPlurality() {
+	stop := core.WhenMPlurality(100, 10)
+	fmt.Println(stop(colorcfg.FromCounts(95, 5), 0))
+	fmt.Println(stop(colorcfg.FromCounts(80, 20), 0))
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+
+	"plurality/internal/colorcfg"
+)
+
+// This file collects the paper's closed forms and thresholds so that
+// experiments can compare measurements against predictions.
+
+// ExpectedNext returns Lemma 1's exact next-round expectation for every
+// color: µ_j(c) = c_j · (1 + (n·c_j − Σ_h c_h²)/n²).
+func ExpectedNext(c colorcfg.Config) []float64 {
+	n := float64(c.N())
+	if n == 0 {
+		panic("core: ExpectedNext on empty configuration")
+	}
+	sumSq := c.SumSquares()
+	out := make([]float64, c.K())
+	for j, cj := range c {
+		fj := float64(cj)
+		out[j] = fj * (1 + (n*fj-sumSq)/(n*n))
+	}
+	return out
+}
+
+// ExpectedBiasLowerBound returns Lemma 2's lower bound on the expected
+// next-round bias between the plurality and any other color:
+// µ_1 − µ_j ≥ s(c) · (1 + c_1/n · (1 − c_1/n)).
+func ExpectedBiasLowerBound(c colorcfg.Config) float64 {
+	n := float64(c.N())
+	if n == 0 {
+		panic("core: ExpectedBiasLowerBound on empty configuration")
+	}
+	first, _ := c.TopTwo()
+	c1 := float64(first)
+	s := float64(c.Bias())
+	return s * (1 + c1/n*(1-c1/n))
+}
+
+// Lemma3GrowthFactor is the per-round w.h.p. bias growth factor of Lemma 3,
+// 1 + c_1/(4n), valid while n/λ ≤ c_1 ≤ 2n/3 and the bias is above the
+// Theorem 1 threshold.
+func Lemma3GrowthFactor(c colorcfg.Config) float64 {
+	n := float64(c.N())
+	first, _ := c.TopTwo()
+	return 1 + float64(first)/(4*n)
+}
+
+// Lemma4DecayFactor is the w.h.p. per-round decay factor 8/9 of the total
+// minority mass once c_1 ≥ 2n/3 (Lemma 4).
+const Lemma4DecayFactor = 8.0 / 9.0
+
+// Lambda returns the paper's λ = min{2k, (n/ln n)^(1/3)} used in
+// Corollary 1. n must be large enough that ln n > 0.
+func Lambda(n int64, k int) float64 {
+	nf := float64(n)
+	cube := math.Cbrt(nf / math.Log(nf))
+	if l := 2 * float64(k); l < cube {
+		return l
+	}
+	return cube
+}
+
+// TheoremBias returns Theorem 1's literal bias requirement
+// s ≥ 72·sqrt(2·λ·n·ln n). The constant 72√2 is an artifact of the proof;
+// in simulations much smaller constants suffice (see PracticalBias), and
+// experiment E1 uses PracticalBias with the constant recorded in its table.
+func TheoremBias(n int64, lambda float64) float64 {
+	nf := float64(n)
+	return 72 * math.Sqrt(2*lambda*nf*math.Log(nf))
+}
+
+// PracticalBias returns c·sqrt(λ·n·ln n): the Theorem 1 bias shape with a
+// tunable constant. c = 1 is comfortably sufficient in simulation (the
+// proof constant 72√2 ≈ 102 is loose).
+func PracticalBias(n int64, lambda, c float64) int64 {
+	nf := float64(n)
+	s := c * math.Sqrt(lambda*nf*math.Log(nf))
+	if s > nf {
+		s = nf
+	}
+	return int64(s)
+}
+
+// Corollary1Bias returns PracticalBias at λ = Lambda(n, k).
+func Corollary1Bias(n int64, k int, c float64) int64 {
+	return PracticalBias(n, Lambda(n, k), c)
+}
+
+// UpperBoundRounds returns the Theorem 1 convergence-time shape C·λ·ln n.
+func UpperBoundRounds(n int64, lambda, c float64) float64 {
+	return c * lambda * math.Log(float64(n))
+}
+
+// LowerBoundRounds returns the Theorem 2 lower-bound shape c·k·ln n for
+// near-balanced starts (valid for k ≤ (n/ln n)^(1/4)).
+func LowerBoundRounds(n int64, k int, c float64) float64 {
+	return c * float64(k) * math.Log(float64(n))
+}
+
+// Theorem2MaxK returns (n/ln n)^(1/4), the largest k for which the Theorem
+// 2 lower bound is proven.
+func Theorem2MaxK(n int64) float64 {
+	nf := float64(n)
+	return math.Pow(nf/math.Log(nf), 0.25)
+}
+
+// HPluralityLowerRounds returns the Theorem 4 lower-bound shape c·k/h² for
+// the h-plurality dynamics from near-balanced starts.
+func HPluralityLowerRounds(k, h int, c float64) float64 {
+	return c * float64(k) / float64(h*h)
+}
+
+// Lemma10MaxBias returns sqrt(k·n)/6 — Lemma 10 exhibits configurations
+// with any bias below this value whose bias shrinks in one round with
+// probability at least 1/(16e).
+func Lemma10MaxBias(n int64, k int) int64 {
+	return int64(math.Sqrt(float64(k)*float64(n)) / 6)
+}
+
+// Lemma10FailureLowerBound is the constant-probability floor 1/(16e) of
+// Lemma 10.
+var Lemma10FailureLowerBound = 1 / (16 * math.E)
+
+// SelfStabilizationResidue returns the O(s/λ) residue of Corollary 4: with
+// an F-bounded adversary, all but O(s/λ) agents agree w.h.p. once the
+// process stabilizes, provided F = o(s/λ).
+func SelfStabilizationResidue(s int64, lambda float64) float64 {
+	return float64(s) / lambda
+}

@@ -1,0 +1,331 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/rng"
+)
+
+func TestThreeMajorityClearCases(t *testing.T) {
+	r := rng.New(1)
+	m := ThreeMajority{}
+	cases := []struct {
+		s    []Color
+		want Color
+	}{
+		{[]Color{1, 1, 1}, 1},
+		{[]Color{1, 1, 2}, 1},
+		{[]Color{1, 2, 1}, 1},
+		{[]Color{2, 1, 1}, 1},
+		{[]Color{0, 3, 3}, 3},
+		{[]Color{5, 5, 0}, 5},
+	}
+	for _, c := range cases {
+		if got := m.Apply(c.s, r); got != c.want {
+			t.Errorf("Apply(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestThreeMajorityRainbowFirst(t *testing.T) {
+	r := rng.New(2)
+	m := ThreeMajority{}
+	if got := m.Apply([]Color{7, 2, 5}, r); got != 7 {
+		t.Errorf("rainbow tie must return first sample, got %d", got)
+	}
+}
+
+func TestThreeMajorityRainbowUniform(t *testing.T) {
+	r := rng.New(3)
+	m := ThreeMajority{UniformTie: true}
+	counts := map[Color]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		counts[m.Apply([]Color{7, 2, 5}, r)]++
+	}
+	for _, col := range []Color{7, 2, 5} {
+		frac := float64(counts[col]) / trials
+		if math.Abs(frac-1.0/3) > 0.01 {
+			t.Errorf("color %d chosen with rate %v, want 1/3", col, frac)
+		}
+	}
+}
+
+func TestThreeMajorityAdoptionProbsMatchLemma1(t *testing.T) {
+	// Lemma 1: µ_j = c_j(1 + (n c_j - Σ c_h²)/n²). Check p_j = µ_j/n for a
+	// handful of configurations, and that probabilities sum to 1.
+	configs := []colorcfg.Config{
+		colorcfg.FromCounts(60, 25, 15),
+		colorcfg.FromCounts(1, 1, 1, 97),
+		colorcfg.Biased(1000, 10, 100),
+		colorcfg.Balanced(999, 7),
+	}
+	for _, c := range configs {
+		n := float64(c.N())
+		dst := make([]float64, c.K())
+		ThreeMajority{}.AdoptionProbs(c, dst)
+		sum := 0.0
+		sumSq := c.SumSquares()
+		for j, p := range dst {
+			cj := float64(c[j])
+			mu := cj * (1 + (n*cj-sumSq)/(n*n))
+			if math.Abs(p-mu/n) > 1e-12 {
+				t.Errorf("config %v color %d: p=%v, lemma1 %v", c, j, p, mu/n)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("config %v: probs sum to %v", c, sum)
+		}
+	}
+}
+
+func TestThreeMajorityApplyMatchesAdoptionProbs(t *testing.T) {
+	// Monte-Carlo: empirical adoption frequency from Apply with iid samples
+	// must match the closed form within sampling error.
+	r := rng.New(4)
+	c := colorcfg.FromCounts(50, 30, 20)
+	n := c.N()
+	agents := c.ToAgents(nil)
+	want := make([]float64, c.K())
+	ThreeMajority{}.AdoptionProbs(c, want)
+
+	const trials = 300000
+	counts := make([]int, c.K())
+	s := make([]Color, 3)
+	for i := 0; i < trials; i++ {
+		for j := range s {
+			s[j] = agents[r.Int63n(n)]
+		}
+		counts[ThreeMajority{}.Apply(s, r)]++
+	}
+	for j := range want {
+		got := float64(counts[j]) / trials
+		se := math.Sqrt(want[j] * (1 - want[j]) / trials)
+		if math.Abs(got-want[j]) > 5*se {
+			t.Errorf("color %d: empirical %v, closed form %v (se %v)", j, got, want[j], se)
+		}
+	}
+}
+
+func TestTieBreakVariantsSameDistribution(t *testing.T) {
+	// The paper notes first-sample and uniform tie-breaking yield the same
+	// process; verify the single-agent adoption distribution matches.
+	r := rng.New(5)
+	c := colorcfg.FromCounts(40, 35, 25)
+	agents := c.ToAgents(nil)
+	n := c.N()
+	const trials = 300000
+	countsFirst := make([]int, c.K())
+	countsUnif := make([]int, c.K())
+	s := make([]Color, 3)
+	for i := 0; i < trials; i++ {
+		for j := range s {
+			s[j] = agents[r.Int63n(n)]
+		}
+		countsFirst[ThreeMajority{}.Apply(s, r)]++
+		countsUnif[ThreeMajority{UniformTie: true}.Apply(s, r)]++
+	}
+	for j := 0; j < c.K(); j++ {
+		a := float64(countsFirst[j]) / trials
+		b := float64(countsUnif[j]) / trials
+		if math.Abs(a-b) > 0.006 {
+			t.Errorf("color %d: first-tie %v vs uniform-tie %v", j, a, b)
+		}
+	}
+}
+
+func TestHPluralityBasics(t *testing.T) {
+	r := rng.New(6)
+	p := NewHPlurality(5)
+	if p.Name() != "5-plurality" || p.SampleSize() != 5 {
+		t.Fatalf("bad metadata: %q %d", p.Name(), p.SampleSize())
+	}
+	// Clear plurality.
+	if got := p.Apply([]Color{3, 1, 3, 2, 3}, r); got != 3 {
+		t.Errorf("plurality of (3,1,3,2,3) = %d", got)
+	}
+	// All same.
+	if got := p.Apply([]Color{4, 4, 4, 4, 4}, r); got != 4 {
+		t.Errorf("unanimous = %d", got)
+	}
+}
+
+func TestHPluralityH3MatchesMajorityOnClear(t *testing.T) {
+	r := rng.New(7)
+	p := NewHPlurality(3)
+	m := ThreeMajority{}
+	for _, s := range [][]Color{{1, 1, 2}, {2, 1, 1}, {1, 2, 1}, {9, 9, 9}} {
+		if p.Apply(s, r) != m.Apply(s, r) {
+			t.Errorf("h=3 plurality diverges from 3-majority on %v", s)
+		}
+	}
+}
+
+func TestHPluralityTieUniform(t *testing.T) {
+	r := rng.New(8)
+	p := NewHPlurality(4)
+	// Two colors tied at multiplicity 2.
+	counts := map[Color]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		counts[p.Apply([]Color{1, 2, 2, 1}, r)]++
+	}
+	for _, col := range []Color{1, 2} {
+		frac := float64(counts[col]) / trials
+		if math.Abs(frac-0.5) > 0.01 {
+			t.Errorf("tied color %d rate %v, want 0.5", col, frac)
+		}
+	}
+	if counts[0] != 0 {
+		t.Error("h-plurality returned a color not in the sample")
+	}
+}
+
+func TestHPluralityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHPlurality(0) must panic")
+		}
+	}()
+	NewHPlurality(0)
+}
+
+func TestMedianRule(t *testing.T) {
+	r := rng.New(9)
+	m := Median{}
+	cases := []struct {
+		s    []Color
+		want Color
+	}{
+		{[]Color{1, 2, 3}, 2},
+		{[]Color{3, 1, 2}, 2},
+		{[]Color{2, 3, 1}, 2},
+		{[]Color{5, 5, 1}, 5},
+		{[]Color{1, 5, 5}, 5},
+		{[]Color{7, 7, 7}, 7},
+		{[]Color{9, 0, 4}, 4},
+	}
+	for _, c := range cases {
+		if got := m.Apply(c.s, r); got != c.want {
+			t.Errorf("median(%v) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestMedianAdoptionProbs(t *testing.T) {
+	r := rng.New(10)
+	c := colorcfg.FromCounts(30, 50, 20)
+	want := make([]float64, 3)
+	Median{}.AdoptionProbs(c, want)
+	sum := 0.0
+	for _, p := range want {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("median probs sum to %v", sum)
+	}
+	// Monte-Carlo cross-check.
+	agents := c.ToAgents(nil)
+	n := c.N()
+	const trials = 300000
+	counts := make([]int, 3)
+	s := make([]Color, 3)
+	for i := 0; i < trials; i++ {
+		for j := range s {
+			s[j] = agents[r.Int63n(n)]
+		}
+		counts[Median{}.Apply(s, r)]++
+	}
+	for j := range want {
+		got := float64(counts[j]) / trials
+		se := math.Sqrt(want[j]*(1-want[j])/trials) + 1e-9
+		if math.Abs(got-want[j]) > 5*se {
+			t.Errorf("median color %d: empirical %v, closed form %v", j, got, want[j])
+		}
+	}
+}
+
+func TestPollingAndTwoChoices(t *testing.T) {
+	r := rng.New(11)
+	if got := (Polling{}).Apply([]Color{5}, r); got != 5 {
+		t.Errorf("polling = %d", got)
+	}
+	// TwoChoices on agreeing samples.
+	if got := (TwoChoices{}).Apply([]Color{3, 3}, r); got != 3 {
+		t.Errorf("2-choices agree = %d", got)
+	}
+	// TwoChoices on disagreeing samples: uniform.
+	counts := map[Color]int{}
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		counts[(TwoChoices{}).Apply([]Color{1, 2}, r)]++
+	}
+	if math.Abs(float64(counts[1])/trials-0.5) > 0.01 {
+		t.Errorf("2-choices split %v", counts)
+	}
+}
+
+func TestTwoChoicesEquivalentToPolling(t *testing.T) {
+	// The closed forms must agree exactly (paper's remark).
+	c := colorcfg.FromCounts(17, 4, 29, 50)
+	a := make([]float64, 4)
+	b := make([]float64, 4)
+	Polling{}.AdoptionProbs(c, a)
+	TwoChoices{}.AdoptionProbs(c, b)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Errorf("color %d: polling %v, 2-choices %v", j, a[j], b[j])
+		}
+	}
+}
+
+func TestRulesReturnSampledColor(t *testing.T) {
+	// Definition 1 invariant: every rule returns one of its inputs.
+	r := rng.New(12)
+	probe := []Color{0, 1, 2, 3, 4, 5, 6, 7}
+	rules := []Rule{
+		ThreeMajority{}, ThreeMajority{UniformTie: true},
+		NewHPlurality(1), NewHPlurality(3), NewHPlurality(7),
+		Median{}, Polling{}, TwoChoices{},
+	}
+	rules = append(rules, RuleZoo()...)
+	for _, rule := range rules {
+		if err := Validate(rule, probe, r, 2000); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestRuleApplyIsPureQuick(t *testing.T) {
+	// Deterministic rules must give identical outputs on identical inputs.
+	r := rng.New(13)
+	f := func(a, b, c uint8) bool {
+		s := []Color{Color(a % 16), Color(b % 16), Color(c % 16)}
+		m := ThreeMajority{}
+		x := m.Apply(s, r)
+		y := m.Apply(s, r)
+		med := Median{}
+		return x == y && med.Apply(s, r) == med.Apply(s, r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdoptionProbsPanicOnEmpty(t *testing.T) {
+	empty := colorcfg.Config{0, 0}
+	for _, pm := range []ProbModel{ThreeMajority{}, Median{}, Polling{}, TwoChoices{}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%T: expected panic on empty config", pm)
+				}
+			}()
+			pm.AdoptionProbs(empty, make([]float64, 2))
+		}()
+	}
+}

@@ -1,0 +1,58 @@
+package dynamics_test
+
+import (
+	"fmt"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
+	"plurality/internal/rng"
+)
+
+// ExampleThreeMajority_Apply shows the paper's update rule: majority of
+// three samples, rainbow ties to the first sample.
+func ExampleThreeMajority_Apply() {
+	r := rng.New(1)
+	m := dynamics.ThreeMajority{}
+	fmt.Println(m.Apply([]colorcfg.Color{2, 5, 2}, r)) // clear majority
+	fmt.Println(m.Apply([]colorcfg.Color{4, 1, 9}, r)) // rainbow -> first
+	// Output:
+	// 2
+	// 4
+}
+
+// ExampleThreeMajority_AdoptionProbs shows Lemma 1 as probabilities.
+func ExampleThreeMajority_AdoptionProbs() {
+	c := colorcfg.FromCounts(50, 30, 20)
+	p := make([]float64, 3)
+	dynamics.ThreeMajority{}.AdoptionProbs(c, p)
+	fmt.Printf("%.3f %.3f %.3f\n", p[0], p[1], p[2])
+	// Output:
+	// 0.560 0.276 0.164
+}
+
+// ExampleMedian_Apply shows the Doerr et al. comparator.
+func ExampleMedian_Apply() {
+	fmt.Println(dynamics.Median{}.Apply([]colorcfg.Color{9, 2, 5}, nil))
+	// Output:
+	// 5
+}
+
+// ExampleHasClearMajority checks Definition 2 for two rules.
+func ExampleHasClearMajority() {
+	r := rng.New(1)
+	probe := []colorcfg.Color{0, 1, 2}
+	fmt.Println(dynamics.HasClearMajority(dynamics.ThreeMajority{}, probe, r))
+	fmt.Println(dynamics.HasClearMajority(dynamics.NoClearMajority, probe, r))
+	// Output:
+	// true
+	// false
+}
+
+// ExamplePermutationRule_DeltaProfile shows Definition 3's δ-profile for
+// the median realized as a table rule: it always returns the middle color.
+func ExamplePermutationRule_DeltaProfile() {
+	lo, mid, hi := dynamics.MedianTable.DeltaProfile()
+	fmt.Println(lo, mid, hi)
+	// Output:
+	// 0 6 0
+}

@@ -1,0 +1,99 @@
+package dynamics
+
+import (
+	"plurality/internal/colorcfg"
+	"plurality/internal/rng"
+)
+
+// StatefulRule is a rule whose update depends on the agent's own current
+// color in addition to the sampled colors. Such rules are *not* dynamics
+// in the strict sense of Definition 1 (which conditions only on the
+// sample), but several natural comparators from the follow-on literature —
+// notably 2-choices-keep-own — have this form, and the paper's own model
+// remarks contrast against them. They run on the CliqueMarkov engine.
+type StatefulRule interface {
+	// Name identifies the rule.
+	Name() string
+	// SampleSize is the number of sampled agents per update.
+	SampleSize() int
+	// ApplyOwn returns the next color given the agent's own color and the
+	// sampled colors.
+	ApplyOwn(own Color, samples []Color, r *rng.Rand) Color
+}
+
+// TransitionModel is the closed-form counterpart of StatefulRule on the
+// clique: TransitionProbs fills dst[h] with the probability that an agent
+// currently holding color `from` holds color h after one round, given
+// configuration c. Rows sum to 1. The CliqueMarkov engine draws the next
+// configuration as a sum of independent multinomials, one per source
+// color — exact, O(k²) per round.
+type TransitionModel interface {
+	TransitionProbs(c colorcfg.Config, from Color, dst []float64)
+}
+
+// TwoChoicesKeepOwn is the two-choices dynamics of the follow-on
+// literature (Cooper, Elsässer, Radzik et al.): sample two agents; adopt
+// their color if they *agree*, otherwise keep your own color. Unlike the
+// paper's TwoChoices (ties broken uniformly — provably just polling), the
+// keep-own variant has real drift: the probability of switching to color
+// h is (c_h/n)², which amplifies the square of the leader's advantage.
+// For k = 2 it solves majority w.h.p. in O(log n) given s = Ω(sqrt(n log n));
+// with many colors it is slow from thin configurations because switching
+// requires a same-color pair in the sample.
+type TwoChoicesKeepOwn struct{}
+
+// Name implements StatefulRule.
+func (TwoChoicesKeepOwn) Name() string { return "2-choices-keep-own" }
+
+// SampleSize implements StatefulRule.
+func (TwoChoicesKeepOwn) SampleSize() int { return 2 }
+
+// ApplyOwn implements StatefulRule.
+func (TwoChoicesKeepOwn) ApplyOwn(own Color, s []Color, _ *rng.Rand) Color {
+	if s[0] == s[1] {
+		return s[0]
+	}
+	return own
+}
+
+// TransitionProbs implements TransitionModel:
+// P(from → h) = (c_h/n)² for h ≠ from; P(stay) = 1 − Σ_{h≠from} (c_h/n)².
+func (TwoChoicesKeepOwn) TransitionProbs(c colorcfg.Config, from Color, dst []float64) {
+	n := float64(c.N())
+	if n == 0 {
+		panic("dynamics: TransitionProbs on empty configuration")
+	}
+	stay := 1.0
+	for h, ch := range c {
+		p := float64(ch) / n
+		p *= p
+		if Color(h) == from {
+			continue
+		}
+		dst[h] = p
+		stay -= p
+	}
+	dst[from] = stay
+}
+
+// ThreeMajorityKeepOwn is 3-majority restated as a stateful rule (the own
+// color is ignored); it exists so the CliqueMarkov engine can be
+// cross-validated against the anonymous engines.
+type ThreeMajorityKeepOwn struct{}
+
+// Name implements StatefulRule.
+func (ThreeMajorityKeepOwn) Name() string { return "3-majority(markov)" }
+
+// SampleSize implements StatefulRule.
+func (ThreeMajorityKeepOwn) SampleSize() int { return 3 }
+
+// ApplyOwn implements StatefulRule.
+func (ThreeMajorityKeepOwn) ApplyOwn(_ Color, s []Color, r *rng.Rand) Color {
+	return ThreeMajority{}.Apply(s, r)
+}
+
+// TransitionProbs implements TransitionModel: every row is the Lemma 1
+// adoption vector (the own color does not matter).
+func (ThreeMajorityKeepOwn) TransitionProbs(c colorcfg.Config, _ Color, dst []float64) {
+	ThreeMajority{}.AdoptionProbs(c, dst)
+}

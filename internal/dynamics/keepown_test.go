@@ -1,0 +1,73 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/rng"
+)
+
+func TestKeepOwnMetadata(t *testing.T) {
+	ko := TwoChoicesKeepOwn{}
+	if ko.Name() != "2-choices-keep-own" || ko.SampleSize() != 2 {
+		t.Errorf("metadata: %q %d", ko.Name(), ko.SampleSize())
+	}
+	mk := ThreeMajorityKeepOwn{}
+	if mk.Name() != "3-majority(markov)" || mk.SampleSize() != 3 {
+		t.Errorf("metadata: %q %d", mk.Name(), mk.SampleSize())
+	}
+	if (ThreeMajority{UniformTie: true}).Name() != "3-majority(uniform-tie)" {
+		t.Error("uniform-tie name")
+	}
+	if (Polling{}).Name() != "polling" || (TwoChoices{}).Name() != "2-choices" ||
+		(Median{}).Name() != "median" {
+		t.Error("rule names")
+	}
+}
+
+func TestKeepOwnApplyOwnBranches(t *testing.T) {
+	r := rng.New(1)
+	ko := TwoChoicesKeepOwn{}
+	if ko.ApplyOwn(9, []Color{4, 4}, r) != 4 {
+		t.Error("agreeing pair must be adopted")
+	}
+	if ko.ApplyOwn(9, []Color{4, 5}, r) != 9 {
+		t.Error("disagreeing pair must keep own")
+	}
+	mk := ThreeMajorityKeepOwn{}
+	if mk.ApplyOwn(9, []Color{4, 4, 5}, r) != 4 {
+		t.Error("markov 3-majority must follow the sample majority")
+	}
+}
+
+func TestKeepOwnTransitionProbsDirect(t *testing.T) {
+	c := colorcfg.FromCounts(60, 40)
+	row := make([]float64, 2)
+	TwoChoicesKeepOwn{}.TransitionProbs(c, 0, row)
+	// P(0 -> 1) = (0.4)² = 0.16; P(stay) = 0.84.
+	if math.Abs(row[1]-0.16) > 1e-12 || math.Abs(row[0]-0.84) > 1e-12 {
+		t.Fatalf("row = %v", row)
+	}
+	// Markov 3-majority row equals Lemma 1 regardless of `from`.
+	rowA := make([]float64, 2)
+	rowB := make([]float64, 2)
+	ThreeMajorityKeepOwn{}.TransitionProbs(c, 0, rowA)
+	ThreeMajorityKeepOwn{}.TransitionProbs(c, 1, rowB)
+	base := make([]float64, 2)
+	ThreeMajority{}.AdoptionProbs(c, base)
+	for j := range base {
+		if rowA[j] != base[j] || rowB[j] != base[j] {
+			t.Fatalf("markov rows differ from Lemma 1: %v %v vs %v", rowA, rowB, base)
+		}
+	}
+}
+
+func TestKeepOwnTransitionProbsPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TwoChoicesKeepOwn{}.TransitionProbs(colorcfg.New(2), 0, make([]float64, 2))
+}

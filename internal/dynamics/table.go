@@ -1,0 +1,295 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"plurality/internal/rng"
+)
+
+// PermutationRule is a deterministic 3-input dynamics (a member of the class
+// D3(k) of Definition 1) specified by its behaviour on rainbow triples.
+//
+// On a triple with a clear majority (at least two equal entries) it returns
+// the majority color if MajorityOnClear is true (the clear-majority property
+// of Definition 2) and the first sample otherwise.
+//
+// On a rainbow triple (three distinct colors) the behaviour is given by
+// RainbowTable: sort the three sampled colors as lo < mid < hi; the triple's
+// arrangement is one of the six permutations of (lo, mid, hi), indexed by
+// PermIndex; RainbowTable[PermIndex] selects which of lo (0), mid (1) or
+// hi (2) is returned. Every choice keeps the rule inside D3 (it always
+// returns one of its inputs).
+//
+// The δ-profile of Definition 3 counts, over the six arrangements, how often
+// each of lo/mid/hi is returned; DeltaProfile computes it. 3-majority has
+// profile (2,2,2) — the uniform property; Theorem 3 proves every rule
+// whose profile differs fails plurality consensus from o(n) bias.
+type PermutationRule struct {
+	// RuleName appears in experiment tables.
+	RuleName string
+	// RainbowTable maps the permutation index of a rainbow triple to the
+	// rank (0 = lo, 1 = mid, 2 = hi) of the returned color.
+	RainbowTable [6]uint8
+	// MajorityOnClear selects the clear-majority behaviour (Definition 2).
+	MajorityOnClear bool
+}
+
+// Name implements Rule.
+func (p *PermutationRule) Name() string { return p.RuleName }
+
+// SampleSize implements Rule.
+func (p *PermutationRule) SampleSize() int { return 3 }
+
+// PermIndex returns the index in [0, 6) of the arrangement of three distinct
+// values: 0:(lo,mid,hi) 1:(lo,hi,mid) 2:(mid,lo,hi) 3:(mid,hi,lo)
+// 4:(hi,lo,mid) 5:(hi,mid,lo).
+func PermIndex(a, b, c Color) int {
+	switch {
+	case a < b && b < c:
+		return 0
+	case a < c && c < b:
+		return 1
+	case b < a && a < c:
+		return 2
+	case c < a && a < b:
+		return 3
+	case b < c && c < a:
+		return 4
+	default: // c < b && b < a
+		return 5
+	}
+}
+
+// Apply implements Rule.
+func (p *PermutationRule) Apply(s []Color, _ *rng.Rand) Color {
+	a, b, c := s[0], s[1], s[2]
+	// Clear majority?
+	switch {
+	case a == b || a == c:
+		if p.MajorityOnClear {
+			return a
+		}
+		return s[0]
+	case b == c:
+		if p.MajorityOnClear {
+			return b
+		}
+		return s[0]
+	}
+	// Rainbow triple: rank and dispatch.
+	lo, mid, hi := sort3(a, b, c)
+	switch p.RainbowTable[PermIndex(a, b, c)] {
+	case 0:
+		return lo
+	case 1:
+		return mid
+	default:
+		return hi
+	}
+}
+
+// sort3 returns the three distinct values in increasing order.
+func sort3(a, b, c Color) (lo, mid, hi Color) {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, c
+}
+
+// DeltaProfile returns (δ_lo, δ_mid, δ_hi): over the six arrangements of a
+// rainbow triple, how many times the rule returns the smallest, middle and
+// largest color. δ_lo + δ_mid + δ_hi = 6 for every 3-input dynamics.
+func (p *PermutationRule) DeltaProfile() (dLo, dMid, dHi int) {
+	for _, rank := range p.RainbowTable {
+		switch rank {
+		case 0:
+			dLo++
+		case 1:
+			dMid++
+		default:
+			dHi++
+		}
+	}
+	return
+}
+
+// Canonical Theorem 3 rule zoo. All have the clear-majority property (so
+// Lemma 7 does not already rule them out); they differ in the rainbow
+// δ-profile, which Lemma 8 shows must be uniform (2,2,2).
+var (
+	// FirstOnRainbow behaves exactly like 3-majority with the first-sample
+	// tie-break; its profile is (2,2,2). Used as the positive control.
+	FirstOnRainbow = &PermutationRule{
+		RuleName: "3-majority(table)",
+		// Arrangements: (l,m,h)->l (l,h,m)->l (m,l,h)->m (m,h,l)->m
+		// (h,l,m)->h (h,m,l)->h — "return first sample".
+		RainbowTable:    [6]uint8{0, 0, 1, 1, 2, 2},
+		MajorityOnClear: true,
+	}
+
+	// Profile132 realizes δ = (1, 3, 2) (the "hardest" failing case of
+	// Lemma 8: δ_lo = 1, δ_mid = 3, δ_hi = 2).
+	Profile132 = &PermutationRule{
+		RuleName:        "delta(1,3,2)",
+		RainbowTable:    [6]uint8{1, 1, 1, 2, 2, 0},
+		MajorityOnClear: true,
+	}
+
+	// Profile141 realizes δ = (1, 4, 1) (Lemma 8's second case).
+	Profile141 = &PermutationRule{
+		RuleName:        "delta(1,4,1)",
+		RainbowTable:    [6]uint8{1, 1, 1, 1, 2, 0},
+		MajorityOnClear: true,
+	}
+
+	// MedianTable realizes the median dynamics inside the table formalism:
+	// always return the middle color, δ = (0, 6, 0). Clear-majority holds.
+	MedianTable = &PermutationRule{
+		RuleName:        "median(table)",
+		RainbowTable:    [6]uint8{1, 1, 1, 1, 1, 1},
+		MajorityOnClear: true,
+	}
+
+	// MinOnRainbow always returns the smallest color on rainbow triples,
+	// δ = (6, 0, 0).
+	MinOnRainbow = &PermutationRule{
+		RuleName:        "delta(6,0,0)",
+		RainbowTable:    [6]uint8{0, 0, 0, 0, 0, 0},
+		MajorityOnClear: true,
+	}
+
+	// NoClearMajority violates Definition 2: it returns the first sample
+	// on every triple (equivalent to polling). Lemma 7's counterexample.
+	NoClearMajority = &PermutationRule{
+		RuleName:        "first-sample(no-clear-majority)",
+		RainbowTable:    [6]uint8{0, 0, 1, 1, 2, 2},
+		MajorityOnClear: false,
+	}
+)
+
+// RuleZoo returns the canonical Theorem 3 experiment set in display order.
+func RuleZoo() []Rule {
+	return []Rule{
+		ThreeMajority{},
+		FirstOnRainbow,
+		Profile132,
+		Profile141,
+		MedianTable,
+		MinOnRainbow,
+		NoClearMajority,
+	}
+}
+
+// ----- property checkers (Definitions 2 and 3) -----
+
+// HasClearMajority checks the clear-majority property of Definition 2 by
+// exhaustive enumeration over all triples (with repetitions) drawn from the
+// probe colors: whenever at least two samples agree, the rule must return
+// that majority color. Probe with at least three distinct colors for a
+// meaningful verdict; permutation-invariant rules need no more.
+func HasClearMajority(rule Rule, probe []Color, r *rng.Rand) bool {
+	if rule.SampleSize() != 3 {
+		panic("dynamics: clear-majority property is defined for 3-input rules")
+	}
+	s := make([]Color, 3)
+	for _, a := range probe {
+		for _, b := range probe {
+			for _, c := range probe {
+				maj, ok := clearMajority(a, b, c)
+				if !ok {
+					continue
+				}
+				s[0], s[1], s[2] = a, b, c
+				if rule.Apply(s, r) != maj {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func clearMajority(a, b, c Color) (Color, bool) {
+	switch {
+	case a == b || a == c:
+		return a, true
+	case b == c:
+		return b, true
+	}
+	return 0, false
+}
+
+// DeltaProfileOf measures the δ-profile of Definition 3 for an arbitrary
+// 3-input rule on the specific rainbow triple (r, g, b) of distinct colors:
+// it applies the rule to all six arrangements and counts how many times
+// each color is returned. For randomized tie-break rules the profile is
+// estimated over reps trials per arrangement and the modal outcome per
+// arrangement contributes fractionally; deterministic rules need reps = 1.
+func DeltaProfileOf(rule Rule, r, g, b Color, rnd *rng.Rand, reps int) map[Color]float64 {
+	if rule.SampleSize() != 3 {
+		panic("dynamics: δ-profile is defined for 3-input rules")
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	perms := [6][3]Color{
+		{r, g, b}, {r, b, g}, {g, r, b}, {g, b, r}, {b, r, g}, {b, g, r},
+	}
+	out := map[Color]float64{r: 0, g: 0, b: 0}
+	s := make([]Color, 3)
+	for _, p := range perms {
+		for i := 0; i < reps; i++ {
+			s[0], s[1], s[2] = p[0], p[1], p[2]
+			out[rule.Apply(s, rnd)] += 1 / float64(reps)
+		}
+	}
+	return out
+}
+
+// IsUniform checks the uniform property of Definition 3 on the given rainbow
+// triple: every color must receive exactly δ = 2 (within tol for randomized
+// rules estimated with reps > 1).
+func IsUniform(rule Rule, r, g, b Color, rnd *rng.Rand, reps int, tol float64) bool {
+	prof := DeltaProfileOf(rule, r, g, b, rnd, reps)
+	for _, v := range prof {
+		if v < 2-tol || v > 2+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks that a rule is a well-formed member of Dh(k): applying it
+// to random triples from the probe colors always returns one of its inputs.
+// It returns an error naming the first violation.
+func Validate(rule Rule, probe []Color, rnd *rng.Rand, trials int) error {
+	h := rule.SampleSize()
+	if h < 1 {
+		return fmt.Errorf("dynamics: rule %q has sample size %d", rule.Name(), h)
+	}
+	s := make([]Color, h)
+	for t := 0; t < trials; t++ {
+		for i := range s {
+			s[i] = probe[rnd.Intn(len(probe))]
+		}
+		out := rule.Apply(s, rnd)
+		found := false
+		for _, v := range s {
+			if v == out {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("dynamics: rule %q returned %d not among samples %v",
+				rule.Name(), out, s)
+		}
+	}
+	return nil
+}

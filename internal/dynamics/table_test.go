@@ -1,0 +1,183 @@
+package dynamics
+
+import (
+	"testing"
+
+	"plurality/internal/rng"
+)
+
+func TestPermIndexCoversAllArrangements(t *testing.T) {
+	perms := [][3]Color{
+		{1, 2, 3}, {1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1},
+	}
+	want := []int{0, 1, 2, 3, 4, 5}
+	for i, p := range perms {
+		if got := PermIndex(p[0], p[1], p[2]); got != want[i] {
+			t.Errorf("PermIndex(%v) = %d, want %d", p, got, want[i])
+		}
+	}
+}
+
+func TestFirstOnRainbowMatchesThreeMajority(t *testing.T) {
+	r := rng.New(1)
+	m := ThreeMajority{}
+	s := make([]Color, 3)
+	for a := Color(0); a < 5; a++ {
+		for b := Color(0); b < 5; b++ {
+			for c := Color(0); c < 5; c++ {
+				s[0], s[1], s[2] = a, b, c
+				if FirstOnRainbow.Apply(s, r) != m.Apply(s, r) {
+					t.Errorf("table rule diverges from 3-majority on (%d,%d,%d)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaProfiles(t *testing.T) {
+	cases := []struct {
+		rule        *PermutationRule
+		lo, mid, hi int
+	}{
+		{FirstOnRainbow, 2, 2, 2},
+		{Profile132, 1, 3, 2},
+		{Profile141, 1, 4, 1},
+		{MedianTable, 0, 6, 0},
+		{MinOnRainbow, 6, 0, 0},
+	}
+	for _, c := range cases {
+		lo, mid, hi := c.rule.DeltaProfile()
+		if lo != c.lo || mid != c.mid || hi != c.hi {
+			t.Errorf("%s: profile (%d,%d,%d), want (%d,%d,%d)",
+				c.rule.Name(), lo, mid, hi, c.lo, c.mid, c.hi)
+		}
+		if lo+mid+hi != 6 {
+			t.Errorf("%s: profile does not sum to 6", c.rule.Name())
+		}
+	}
+}
+
+func TestDeltaProfileOfMeasured(t *testing.T) {
+	// Measured profile must match the declared table profile.
+	r := rng.New(2)
+	for _, rule := range []*PermutationRule{FirstOnRainbow, Profile132, Profile141, MedianTable} {
+		prof := DeltaProfileOf(rule, 3, 7, 9, r, 1)
+		wantLo, wantMid, wantHi := rule.DeltaProfile()
+		if int(prof[3]) != wantLo || int(prof[7]) != wantMid || int(prof[9]) != wantHi {
+			t.Errorf("%s: measured %v, want (%d,%d,%d)", rule.Name(), prof, wantLo, wantMid, wantHi)
+		}
+	}
+}
+
+func TestDeltaProfileOfThreeMajorityUniformTie(t *testing.T) {
+	// The uniform tie-break has expected profile (2,2,2); with many reps the
+	// estimate should be close.
+	r := rng.New(3)
+	prof := DeltaProfileOf(ThreeMajority{UniformTie: true}, 0, 1, 2, r, 4000)
+	for col, v := range prof {
+		if v < 1.85 || v > 2.15 {
+			t.Errorf("uniform-tie profile[%d] = %v, want ~2", col, v)
+		}
+	}
+}
+
+func TestHasClearMajority(t *testing.T) {
+	r := rng.New(4)
+	probe := []Color{0, 1, 2, 3}
+	positives := []Rule{
+		ThreeMajority{}, ThreeMajority{UniformTie: true},
+		FirstOnRainbow, Profile132, Profile141, MedianTable, MinOnRainbow, Median{},
+	}
+	for _, rule := range positives {
+		if !HasClearMajority(rule, probe, r) {
+			t.Errorf("%s should have the clear-majority property", rule.Name())
+		}
+	}
+	if HasClearMajority(NoClearMajority, probe, r) {
+		t.Error("first-sample rule must fail the clear-majority check")
+	}
+}
+
+func TestIsUniform(t *testing.T) {
+	r := rng.New(5)
+	if !IsUniform(ThreeMajority{}, 1, 4, 6, r, 1, 0.01) {
+		t.Error("3-majority must be uniform")
+	}
+	if !IsUniform(FirstOnRainbow, 1, 4, 6, r, 1, 0.01) {
+		t.Error("table 3-majority must be uniform")
+	}
+	for _, rule := range []Rule{Profile132, Profile141, MedianTable, MinOnRainbow, Median{}} {
+		if IsUniform(rule, 1, 4, 6, r, 1, 0.01) {
+			t.Errorf("%s must not be uniform", rule.Name())
+		}
+	}
+	if !IsUniform(ThreeMajority{UniformTie: true}, 1, 4, 6, r, 8000, 0.2) {
+		t.Error("uniform-tie 3-majority should measure uniform")
+	}
+}
+
+func TestTheorem3Characterization(t *testing.T) {
+	// Theorem 3: a rule solves plurality consensus iff it has both
+	// properties. Verify the classification of the whole zoo.
+	r := rng.New(6)
+	probe := []Color{0, 1, 2, 3, 4}
+	type verdict struct {
+		clear, uniform bool
+	}
+	want := map[string]verdict{
+		"3-majority":                      {true, true},
+		"3-majority(table)":               {true, true},
+		"delta(1,3,2)":                    {true, false},
+		"delta(1,4,1)":                    {true, false},
+		"median(table)":                   {true, false},
+		"delta(6,0,0)":                    {true, false},
+		"first-sample(no-clear-majority)": {false, true},
+	}
+	for _, rule := range RuleZoo() {
+		w, ok := want[rule.Name()]
+		if !ok {
+			t.Fatalf("unexpected rule %q in zoo", rule.Name())
+		}
+		gotClear := HasClearMajority(rule, probe, r)
+		gotUniform := IsUniform(rule, 0, 2, 4, r, 1, 0.01)
+		if gotClear != w.clear || gotUniform != w.uniform {
+			t.Errorf("%s: (clear=%v uniform=%v), want (%v %v)",
+				rule.Name(), gotClear, gotUniform, w.clear, w.uniform)
+		}
+	}
+}
+
+func TestValidateCatchesBadRule(t *testing.T) {
+	r := rng.New(7)
+	bad := badRule{}
+	if err := Validate(bad, []Color{0, 1, 2}, r, 100); err == nil {
+		t.Error("Validate accepted a rule returning non-sampled colors")
+	}
+}
+
+type badRule struct{}
+
+func (badRule) Name() string                   { return "bad" }
+func (badRule) SampleSize() int                { return 3 }
+func (badRule) Apply([]Color, *rng.Rand) Color { return 999 }
+
+func TestPropertyCheckersPanicOnWrongArity(t *testing.T) {
+	r := rng.New(8)
+	poll := Polling{}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("HasClearMajority must panic for h != 3")
+			}
+		}()
+		HasClearMajority(poll, []Color{0, 1}, r)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("DeltaProfileOf must panic for h != 3")
+			}
+		}()
+		DeltaProfileOf(poll, 0, 1, 2, r, 1)
+	}()
+}

@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
+	"plurality/internal/graph"
+	"plurality/internal/rng"
+)
+
+// GraphEngine is the literal agent-array engine: every vertex of an
+// arbitrary topology holds a color; each round every vertex samples h
+// neighbors (uniformly, with repetitions) and applies the rule.
+// The update is synchronous (double-buffered). On graph.Complete with
+// IncludeSelf it realizes exactly the paper's model and is used to
+// cross-validate the configuration-level clique engines.
+//
+// Vertices are sharded across worker goroutines with independent rng
+// streams, so a run is deterministic for a fixed (seed, workers) pair.
+type GraphEngine struct {
+	rule    dynamics.Rule
+	g       graph.Graph
+	colors  []Color
+	next    []Color
+	cfg     colorcfg.Config
+	round   int
+	workers []*graphWorker
+	// WithoutSelfResample, when the topology itself excludes self-loops,
+	// is implicit in the graph; nothing to configure here.
+}
+
+type graphWorker struct {
+	r     *rng.Rand
+	from  int64
+	to    int64
+	tally []int64
+	buf   []Color
+}
+
+// NewGraphEngine builds the engine. The initial configuration is laid out
+// over the vertices in color blocks and then shuffled with layoutRng so
+// that topology experiments are not biased by block placement (on the
+// clique the layout is irrelevant). workers <= 1 runs single-threaded.
+func NewGraphEngine(rule dynamics.Rule, g graph.Graph, initial colorcfg.Config, workers int, seed uint64, layoutRng *rng.Rand) *GraphEngine {
+	n := g.N()
+	if initial.N() != n {
+		panic(fmt.Sprintf("engine: configuration has %d agents but graph has %d vertices", initial.N(), n))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if int64(workers) > n {
+		workers = int(n)
+	}
+	e := &GraphEngine{
+		rule:   rule,
+		g:      g,
+		colors: initial.ToAgents(nil),
+		next:   make([]Color, n),
+		cfg:    initial.Clone(),
+	}
+	if layoutRng != nil {
+		layoutRng.Shuffle(len(e.colors), func(i, j int) {
+			e.colors[i], e.colors[j] = e.colors[j], e.colors[i]
+		})
+	}
+	streams := rng.Streams(seed, workers)
+	chunk := n / int64(workers)
+	for w := 0; w < workers; w++ {
+		from := int64(w) * chunk
+		to := from + chunk
+		if w == workers-1 {
+			to = n
+		}
+		e.workers = append(e.workers, &graphWorker{
+			r:     streams[w],
+			from:  from,
+			to:    to,
+			tally: make([]int64, initial.K()),
+			buf:   make([]Color, rule.SampleSize()),
+		})
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *GraphEngine) Name() string {
+	return fmt.Sprintf("graph[%s,%s,w=%d]", e.g.Name(), e.rule.Name(), len(e.workers))
+}
+
+// N implements Engine.
+func (e *GraphEngine) N() int64 { return e.g.N() }
+
+// K implements Engine.
+func (e *GraphEngine) K() int { return e.cfg.K() }
+
+// Round implements Engine.
+func (e *GraphEngine) Round() int { return e.round }
+
+// Config implements Engine.
+func (e *GraphEngine) Config() colorcfg.Config { return e.cfg.Clone() }
+
+// Colors returns the live per-vertex color slice (read-only view for
+// inspection; mutate only through Repaint).
+func (e *GraphEngine) Colors() []Color { return e.colors }
+
+// Step implements Engine.
+func (e *GraphEngine) Step(_ *rng.Rand) {
+	if len(e.workers) == 1 {
+		e.workers[0].run(e)
+	} else {
+		done := make(chan struct{}, len(e.workers))
+		for _, w := range e.workers {
+			w := w
+			go func() {
+				w.run(e)
+				done <- struct{}{}
+			}()
+		}
+		for range e.workers {
+			<-done
+		}
+	}
+	e.colors, e.next = e.next, e.colors
+	for j := range e.cfg {
+		e.cfg[j] = 0
+	}
+	for _, w := range e.workers {
+		for j, v := range w.tally {
+			e.cfg[j] += v
+		}
+	}
+	e.round++
+}
+
+func (w *graphWorker) run(e *GraphEngine) {
+	for j := range w.tally {
+		w.tally[j] = 0
+	}
+	h := len(w.buf)
+	for v := w.from; v < w.to; v++ {
+		for s := 0; s < h; s++ {
+			w.buf[s] = e.colors[e.g.SampleNeighbor(v, w.r)]
+		}
+		c := e.rule.Apply(w.buf, w.r)
+		e.next[v] = c
+		w.tally[c]++
+	}
+}
+
+// Repaint implements Engine: scans the vertex array and recolors the first
+// m vertices holding `from`.
+func (e *GraphEngine) Repaint(from, to Color, m int64) int64 {
+	if m <= 0 || from == to {
+		return 0
+	}
+	if int(from) >= e.K() || int(to) >= e.K() || from < 0 || to < 0 {
+		panic("engine: Repaint color out of range")
+	}
+	var moved int64
+	for i := range e.colors {
+		if moved == m {
+			break
+		}
+		if e.colors[i] == from {
+			e.colors[i] = to
+			moved++
+		}
+	}
+	e.cfg[from] -= moved
+	e.cfg[to] += moved
+	return moved
+}

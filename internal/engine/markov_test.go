@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
+	"plurality/internal/rng"
+)
+
+func TestCliqueMarkovConservesN(t *testing.T) {
+	r := rng.New(1)
+	e := NewCliqueMarkov(dynamics.TwoChoicesKeepOwn{}, colorcfg.Biased(10000, 5, 2000))
+	for i := 0; i < 50; i++ {
+		e.Step(r)
+		if err := e.Config().Validate(10000); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	if e.Round() != 50 {
+		t.Fatalf("round = %d", e.Round())
+	}
+}
+
+func TestCliqueMarkovMatchesMultinomialForAnonymousRule(t *testing.T) {
+	// ThreeMajorityKeepOwn ignores the own color, so the Markov engine's
+	// one-round mean must equal Lemma 1's µ.
+	init := colorcfg.FromCounts(500, 300, 200)
+	mu := make([]float64, 3)
+	dynamics.ThreeMajority{}.AdoptionProbs(init, mu)
+	n := float64(init.N())
+	const reps = 3000
+	mean := make([]float64, 3)
+	r := rng.New(2)
+	for i := 0; i < reps; i++ {
+		e := NewCliqueMarkov(dynamics.ThreeMajorityKeepOwn{}, init)
+		e.Step(r)
+		for j, v := range e.Config() {
+			mean[j] += float64(v) / reps
+		}
+	}
+	for j := range mu {
+		want := mu[j] * n
+		se := math.Sqrt(n) / math.Sqrt(reps) * 2
+		if math.Abs(mean[j]-want) > 6*se {
+			t.Errorf("color %d: markov mean %v, lemma1 %v", j, mean[j], want)
+		}
+	}
+}
+
+func TestTwoChoicesKeepOwnDrift(t *testing.T) {
+	// E[C'_j] = c_j + (n - c_j)(c_j/n)² - c_j·Σ_{h≠j}(c_h/n)².
+	init := colorcfg.FromCounts(600, 400)
+	n := float64(init.N())
+	p0 := 0.6 * 0.6
+	p1 := 0.4 * 0.4
+	want0 := 600 + 400*p0 - 600*p1
+	const reps = 4000
+	mean0 := 0.0
+	r := rng.New(3)
+	for i := 0; i < reps; i++ {
+		e := NewCliqueMarkov(dynamics.TwoChoicesKeepOwn{}, init)
+		e.Step(r)
+		mean0 += float64(e.Config()[0]) / reps
+	}
+	se := math.Sqrt(n) / math.Sqrt(reps) * 2
+	if math.Abs(mean0-want0) > 6*se {
+		t.Errorf("keep-own drift: mean %v, want %v", mean0, want0)
+	}
+}
+
+func TestTwoChoicesKeepOwnConvergesBinary(t *testing.T) {
+	// k=2 with bias sqrt(n log n): converges to the majority w.h.p. in
+	// O(log n) rounds (Cooper et al. / Doerr et al. two-choices result).
+	r := rng.New(4)
+	n := int64(100000)
+	s := int64(math.Sqrt(float64(n)*math.Log(float64(n))) * 2)
+	wins := 0
+	for rep := 0; rep < 10; rep++ {
+		e := NewCliqueMarkov(dynamics.TwoChoicesKeepOwn{}, colorcfg.Biased(n, 2, s))
+		rounds := 0
+		for !e.Config().IsMonochromatic() && rounds < 10000 {
+			e.Step(r)
+			rounds++
+		}
+		if e.Config().IsMonochromatic() && e.Config().Plurality() == 0 {
+			wins++
+		}
+		if rounds > 500 {
+			t.Errorf("rep %d: took %d rounds, expected O(log n)", rep, rounds)
+		}
+	}
+	if wins < 9 {
+		t.Errorf("keep-own won only %d/10 from biased binary start", wins)
+	}
+}
+
+func TestTwoChoicesKeepOwnRowsSumToOne(t *testing.T) {
+	c := colorcfg.FromCounts(17, 29, 54, 0, 100)
+	row := make([]float64, 5)
+	for j := 0; j < 5; j++ {
+		dynamics.TwoChoicesKeepOwn{}.TransitionProbs(c, colorcfg.Color(j), row)
+		sum := 0.0
+		for _, p := range row {
+			if p < 0 || p > 1 {
+				t.Fatalf("row %d has invalid prob %v", j, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("row %d sums to %v", j, sum)
+		}
+	}
+}
+
+func TestTwoChoicesKeepOwnApply(t *testing.T) {
+	r := rng.New(5)
+	rule := dynamics.TwoChoicesKeepOwn{}
+	if got := rule.ApplyOwn(7, []colorcfg.Color{3, 3}, r); got != 3 {
+		t.Errorf("agreeing samples: got %d", got)
+	}
+	if got := rule.ApplyOwn(7, []colorcfg.Color{3, 4}, r); got != 7 {
+		t.Errorf("disagreeing samples must keep own: got %d", got)
+	}
+}
+
+func TestCliqueMarkovMonochromaticAbsorbing(t *testing.T) {
+	r := rng.New(6)
+	e := NewCliqueMarkov(dynamics.TwoChoicesKeepOwn{}, colorcfg.FromCounts(0, 500, 0))
+	for i := 0; i < 5; i++ {
+		e.Step(r)
+	}
+	if c := e.Config(); c[1] != 500 {
+		t.Fatalf("monochromatic not absorbing: %v", c)
+	}
+}
+
+func TestCliqueMarkovRepaintAndPanics(t *testing.T) {
+	e := NewCliqueMarkov(dynamics.TwoChoicesKeepOwn{}, colorcfg.FromCounts(10, 5))
+	if moved := e.Repaint(0, 1, 3); moved != 3 {
+		t.Fatalf("moved %d", moved)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty config")
+		}
+	}()
+	NewCliqueMarkov(dynamics.TwoChoicesKeepOwn{}, colorcfg.New(2))
+}
+
+type noModelRule struct{}
+
+func (noModelRule) Name() string    { return "no-model" }
+func (noModelRule) SampleSize() int { return 2 }
+func (noModelRule) ApplyOwn(own colorcfg.Color, _ []colorcfg.Color, _ *rng.Rand) colorcfg.Color {
+	return own
+}
+
+func TestCliqueMarkovRejectsRuleWithoutModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCliqueMarkov(noModelRule{}, colorcfg.FromCounts(5, 5))
+}

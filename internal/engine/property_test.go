@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
+	"plurality/internal/rng"
+)
+
+// randomConfig builds a valid random configuration from fuzz bytes.
+func randomConfig(raw []uint8, k int) colorcfg.Config {
+	c := colorcfg.New(k)
+	for i, v := range raw {
+		c[i%k] += int64(v) + 1
+	}
+	if c.N() == 0 {
+		c[0] = 1
+	}
+	return c
+}
+
+// TestPropertyConservationAllEngines: for arbitrary configurations and
+// arbitrary valid rules, every engine conserves the agent count over
+// multiple rounds.
+func TestPropertyConservationAllEngines(t *testing.T) {
+	r := rng.New(1)
+	f := func(raw []uint8, kRaw uint8, ruleSel uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := int(kRaw%6) + 2
+		init := randomConfig(raw, k)
+		n := init.N()
+
+		var rule dynamics.Rule
+		switch ruleSel % 5 {
+		case 0:
+			rule = dynamics.ThreeMajority{}
+		case 1:
+			rule = dynamics.ThreeMajority{UniformTie: true}
+		case 2:
+			rule = dynamics.Median{}
+		case 3:
+			rule = dynamics.NewHPlurality(int(ruleSel%7) + 1)
+		default:
+			rule = dynamics.RuleZoo()[int(ruleSel)%len(dynamics.RuleZoo())]
+		}
+
+		engines := []Engine{
+			NewCliqueSampled(rule, init, 2, uint64(kRaw)+1),
+			NewPopulation(rule, init),
+		}
+		if _, ok := rule.(dynamics.ProbModel); ok {
+			engines = append(engines, NewCliqueMultinomial(rule, init))
+		}
+		for _, e := range engines {
+			for i := 0; i < 3; i++ {
+				e.Step(r)
+				if e.Config().Validate(n) != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRandomTableRulesStayValid: arbitrary rainbow tables define
+// valid members of D3 whose engines conserve mass and whose monochromatic
+// states absorb.
+func TestPropertyRandomTableRules(t *testing.T) {
+	r := rng.New(2)
+	f := func(table [6]uint8, raw []uint8) bool {
+		for i := range table {
+			table[i] %= 3
+		}
+		rule := &dynamics.PermutationRule{
+			RuleName:        "fuzz",
+			RainbowTable:    table,
+			MajorityOnClear: true,
+		}
+		// Definition 1 validity.
+		if dynamics.Validate(rule, []colorcfg.Color{0, 1, 2, 3, 4}, r, 300) != nil {
+			return false
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		init := randomConfig(raw, 3)
+		n := init.N()
+		e := NewCliqueSampled(rule, init, 1, 99)
+		for i := 0; i < 5; i++ {
+			e.Step(r)
+			if e.Config().Validate(n) != nil {
+				return false
+			}
+		}
+		// Monochromatic absorption.
+		mono := colorcfg.FromCounts(0, n, 0)
+		em := NewCliqueSampled(rule, mono, 1, 100)
+		em.Step(r)
+		return em.Config()[1] == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRepaintInverse: repainting m agents from a to b and back
+// restores the configuration exactly (when both moves are feasible).
+func TestPropertyRepaintInverse(t *testing.T) {
+	f := func(raw []uint8, aRaw, bRaw, mRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := 4
+		init := randomConfig(raw, k)
+		a := colorcfg.Color(aRaw % uint8(k))
+		b := colorcfg.Color(bRaw % uint8(k))
+		m := int64(mRaw)
+		e := NewCliqueMultinomial(dynamics.ThreeMajority{}, init)
+		before := e.Config()
+		moved := e.Repaint(a, b, m)
+		back := e.Repaint(b, a, moved)
+		if back != moved {
+			return false
+		}
+		return e.Config().Equal(before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyUndecidedConservation: the undecided engines conserve
+// colored + undecided mass for arbitrary inputs.
+func TestPropertyUndecidedConservation(t *testing.T) {
+	r := rng.New(3)
+	f := func(raw []uint8, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := int(kRaw%5) + 2
+		init := randomConfig(raw, k)
+		n := init.N()
+		if n < 2 {
+			return true
+		}
+		e := NewUndecidedExact(init)
+		p := NewUndecidedPopulation(init)
+		for i := 0; i < 4; i++ {
+			e.Step(r)
+			p.Step(r)
+			if e.Config().N()+e.UndecidedCount() != n {
+				return false
+			}
+			if p.Config().N()+p.UndecidedCount() != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/rng"
+)
+
+func undecidedTotal(e *UndecidedExact) int64 {
+	return e.Config().N() + e.UndecidedCount()
+}
+
+func TestUndecidedExactConservesN(t *testing.T) {
+	r := rng.New(1)
+	e := NewUndecidedExact(colorcfg.Biased(10000, 5, 1000))
+	for i := 0; i < 100; i++ {
+		e.Step(r)
+		if undecidedTotal(e) != 10000 {
+			t.Fatalf("round %d: colored %d + undecided %d != 10000",
+				i, e.Config().N(), e.UndecidedCount())
+		}
+		if e.UndecidedCount() < 0 {
+			t.Fatalf("negative undecided count")
+		}
+	}
+}
+
+func TestUndecidedExactConvergesWithMultiplicativeBias(t *testing.T) {
+	// SODA'15 regime: constant multiplicative bias, small md(c) ->
+	// convergence to the plurality in O(md * log n) rounds.
+	r := rng.New(2)
+	init := colorcfg.FromCounts(6000, 3000, 1000)
+	e := NewUndecidedExact(init)
+	var final colorcfg.Config
+	converged := false
+	for i := 0; i < 500; i++ {
+		e.Step(r)
+		c := e.Config()
+		if c.IsMonochromatic() && c.N() == 10000 {
+			final = c
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		t.Fatalf("undecided dynamics did not converge; cfg=%v undecided=%d",
+			e.Config(), e.UndecidedCount())
+	}
+	if final.Plurality() != 0 {
+		t.Fatalf("converged to %d, want plurality 0", final.Plurality())
+	}
+	if e.Round() > 200 {
+		t.Errorf("took %d rounds, expected fast convergence", e.Round())
+	}
+}
+
+func TestUndecidedExactMonochromaticAbsorbing(t *testing.T) {
+	r := rng.New(3)
+	e := NewUndecidedExact(colorcfg.FromCounts(0, 500))
+	for i := 0; i < 10; i++ {
+		e.Step(r)
+	}
+	c := e.Config()
+	if c[1] != 500 || e.UndecidedCount() != 0 {
+		t.Fatalf("monochromatic not absorbing: %v undecided=%d", c, e.UndecidedCount())
+	}
+}
+
+func TestUndecidedExactDriftOneRound(t *testing.T) {
+	// One-round expectations from the pull rule, starting fully colored
+	// (q = 0): E[c'_j] = c_j·(c_j/n) + 0 (no undecided to recruit) ... plus
+	// survivors: stay prob = c_j/n. So E[c'_j] = c_j²/n and
+	// E[q'] = n - Σ c_j²/n.
+	init := colorcfg.FromCounts(600, 400)
+	n := float64(init.N())
+	const reps = 4000
+	meanC := make([]float64, 2)
+	meanQ := 0.0
+	for i := 0; i < reps; i++ {
+		e := NewUndecidedExact(init)
+		e.Step(rng.New(uint64(i)))
+		c := e.Config()
+		for j := range meanC {
+			meanC[j] += float64(c[j]) / reps
+		}
+		meanQ += float64(e.UndecidedCount()) / reps
+	}
+	se := math.Sqrt(n) / math.Sqrt(reps) * 3
+	wantQ := n
+	for j, cj := range init {
+		want := float64(cj) * float64(cj) / n
+		wantQ -= want
+		if math.Abs(meanC[j]-want) > 6*se {
+			t.Errorf("color %d: mean %v, want %v", j, meanC[j], want)
+		}
+	}
+	if math.Abs(meanQ-wantQ) > 6*se {
+		t.Errorf("undecided: mean %v, want %v", meanQ, wantQ)
+	}
+}
+
+func TestUndecidedExactPluralityDeathAtHugeK(t *testing.T) {
+	// Section 3 of SODA'15 (cited in related work): for k = ω(sqrt n) there
+	// are configurations where the plurality dies quickly. With k = n/2
+	// colors each supported by 2 agents, after one round most agents are
+	// undecided and the "plurality" (any fixed color) usually vanishes
+	// within a few rounds.
+	r := rng.New(4)
+	n := int64(10000)
+	k := int(n / 2)
+	init := colorcfg.Balanced(n, k) // 2 agents per color
+	init[0]++                       // tiny plurality
+	init[k-1]--
+	e := NewUndecidedExact(init)
+	died := false
+	for i := 0; i < 10; i++ {
+		e.Step(r)
+		if e.Config()[0] == 0 {
+			died = true
+			break
+		}
+	}
+	if !died {
+		t.Errorf("plurality color survived 10 rounds with k=n/2; c0=%d", e.Config()[0])
+	}
+}
+
+func TestUndecidedPopulationConservesN(t *testing.T) {
+	r := rng.New(5)
+	e := NewUndecidedPopulation(colorcfg.Biased(2000, 3, 400))
+	for i := 0; i < 20; i++ {
+		e.Step(r)
+		if e.Config().N()+e.UndecidedCount() != 2000 {
+			t.Fatalf("round %d: leaked agents", i)
+		}
+	}
+}
+
+func TestUndecidedPopulationConverges(t *testing.T) {
+	r := rng.New(6)
+	e := NewUndecidedPopulation(colorcfg.FromCounts(1200, 600, 200))
+	converged := false
+	for i := 0; i < 400; i++ {
+		e.Step(r)
+		c := e.Config()
+		if c.N() == 2000 && c.IsMonochromatic() {
+			converged = true
+			if c.Plurality() != 0 {
+				t.Fatalf("population undecided converged to %d", c.Plurality())
+			}
+			break
+		}
+	}
+	if !converged {
+		t.Fatal("population undecided did not converge in 400 rounds")
+	}
+}
+
+func TestUndecidedPopulationMicroStepInvariants(t *testing.T) {
+	r := rng.New(7)
+	e := NewUndecidedPopulation(colorcfg.FromCounts(5, 5))
+	for i := 0; i < 10000; i++ {
+		e.MicroStep(r)
+		c := e.Config()
+		if c.N()+e.UndecidedCount() != 10 {
+			t.Fatalf("microstep %d broke conservation", i)
+		}
+		if c[0] < 0 || c[1] < 0 || e.UndecidedCount() < 0 {
+			t.Fatalf("negative count at microstep %d", i)
+		}
+	}
+}
+
+func TestUndecidedRepaint(t *testing.T) {
+	e := NewUndecidedExact(colorcfg.FromCounts(10, 10))
+	if moved := e.Repaint(0, 1, 4); moved != 4 {
+		t.Fatalf("moved %d", moved)
+	}
+	ep := NewUndecidedPopulation(colorcfg.FromCounts(10, 10))
+	if moved := ep.Repaint(1, 0, 3); moved != 3 {
+		t.Fatalf("population moved %d", moved)
+	}
+	if c := ep.Config(); c[0] != 13 || c[1] != 7 {
+		t.Fatalf("population after repaint: %v", c)
+	}
+}
+
+func TestUndecidedConstructorsPanicOnEmpty(t *testing.T) {
+	for name, f := range map[string]func(){
+		"exact":      func() { NewUndecidedExact(colorcfg.New(3)) },
+		"population": func() { NewUndecidedPopulation(colorcfg.FromCounts(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

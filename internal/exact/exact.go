@@ -1,0 +1,274 @@
+// Package exact computes exact quantities of the configuration Markov
+// chain for small systems: the full state space is enumerated (all
+// compositions of n into k parts), transition probabilities follow from
+// the multinomial law C(t+1) ~ Multinomial(n, p(C(t))), and absorption
+// probabilities / expected absorption times are obtained by solving the
+// absorbing-chain linear systems with dense Gaussian elimination.
+//
+// This is the strongest validation substrate in the repository: for n up
+// to a few dozen agents the simulators must agree with these numbers to
+// Monte-Carlo precision (experiment E17), and structural identities — the
+// voter martingale P(absorb in j | c) = c_j/n for polling — hold exactly.
+package exact
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dist"
+	"plurality/internal/dynamics"
+)
+
+// Chain is the exact configuration chain of a ProbModel dynamics on the
+// clique with n agents and k colors.
+type Chain struct {
+	N     int64
+	K     int
+	model dynamics.ProbModel
+
+	// states lists every configuration (composition of n into k parts) in
+	// colex enumeration order; index maps the packed key back to the slot.
+	states [][]int64
+	index  map[string]int
+
+	// absorbing[i] >= 0 gives the color of a monochromatic state.
+	absorbing []int
+
+	// transient lists the indices of non-absorbing states; trPos[i] is the
+	// position of state i within that list (-1 for absorbing states).
+	transient []int
+	trPos     []int
+}
+
+// maxStates bounds the state-space size (Gaussian elimination is O(S³)).
+const maxStates = 4000
+
+// New enumerates the chain. It panics if the state space would exceed
+// maxStates states (choose smaller n or k).
+func New(n int64, k int, model dynamics.ProbModel) *Chain {
+	if n < 1 || k < 1 {
+		panic("exact: need n >= 1 and k >= 1")
+	}
+	if s := compositions(n, k); s > maxStates {
+		panic(fmt.Sprintf("exact: state space %d exceeds %d (n=%d, k=%d)", s, maxStates, n, k))
+	}
+	c := &Chain{N: n, K: k, model: model, index: map[string]int{}}
+	cur := make([]int64, k)
+	var rec func(pos int, remaining int64)
+	rec = func(pos int, remaining int64) {
+		if pos == k-1 {
+			cur[pos] = remaining
+			st := append([]int64(nil), cur...)
+			c.index[key(st)] = len(c.states)
+			c.states = append(c.states, st)
+			return
+		}
+		for v := int64(0); v <= remaining; v++ {
+			cur[pos] = v
+			rec(pos+1, remaining-v)
+		}
+	}
+	rec(0, n)
+
+	c.absorbing = make([]int, len(c.states))
+	c.trPos = make([]int, len(c.states))
+	for i, st := range c.states {
+		c.absorbing[i] = -1
+		c.trPos[i] = -1
+		for j, v := range st {
+			if v == n {
+				c.absorbing[i] = j
+				break
+			}
+		}
+		if c.absorbing[i] < 0 {
+			c.trPos[i] = len(c.transient)
+			c.transient = append(c.transient, i)
+		}
+	}
+	return c
+}
+
+// compositions returns C(n+k-1, k-1), capped to avoid overflow.
+func compositions(n int64, k int) int64 {
+	out := int64(1)
+	for i := int64(1); i < int64(k); i++ {
+		out = out * (n + i) / i
+		if out > 10*maxStates {
+			return out
+		}
+	}
+	return out
+}
+
+func key(st []int64) string {
+	b := make([]byte, 0, len(st)*3)
+	for _, v := range st {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16))
+	}
+	return string(b)
+}
+
+// States returns the number of states.
+func (c *Chain) States() int { return len(c.states) }
+
+// TransientStates returns the number of non-monochromatic states.
+func (c *Chain) TransientStates() int { return len(c.transient) }
+
+// State returns the configuration of state i (do not mutate).
+func (c *Chain) State(i int) colorcfg.Config { return c.states[i] }
+
+// IndexOf returns the state index of a configuration.
+func (c *Chain) IndexOf(cfg colorcfg.Config) int {
+	if int64(cfg.N()) != c.N || cfg.K() != c.K {
+		panic("exact: configuration does not match the chain dimensions")
+	}
+	i, ok := c.index[key(cfg)]
+	if !ok {
+		panic("exact: configuration not found (internal error)")
+	}
+	return i
+}
+
+// TransitionRow fills row[j] with P(state i -> state j) for all j.
+// row must have length States().
+func (c *Chain) TransitionRow(i int, row []float64) {
+	if len(row) != len(c.states) {
+		panic("exact: row length mismatch")
+	}
+	for j := range row {
+		row[j] = 0
+	}
+	if a := c.absorbing[i]; a >= 0 {
+		row[i] = 1
+		return
+	}
+	probs := make([]float64, c.K)
+	c.model.AdoptionProbs(c.states[i], probs)
+	for j, st := range c.states {
+		row[j] = dist.MultinomialPMF(st, probs)
+	}
+}
+
+// AbsorptionProbs returns B where B[t][j] is the probability that the
+// chain started in transient state c.transient[t] is eventually absorbed
+// in the monochromatic state of color j. It solves (I-Q)B = R.
+func (c *Chain) AbsorptionProbs() [][]float64 {
+	nt := len(c.transient)
+	// Build I-Q and R.
+	a := make([][]float64, nt)
+	rhs := make([][]float64, nt)
+	row := make([]float64, len(c.states))
+	for t, i := range c.transient {
+		c.TransitionRow(i, row)
+		a[t] = make([]float64, nt)
+		rhs[t] = make([]float64, c.K)
+		for j, p := range row {
+			if tp := c.trPos[j]; tp >= 0 {
+				a[t][tp] = -p
+			} else {
+				rhs[t][c.absorbing[j]] += p
+			}
+		}
+		a[t][t] += 1
+	}
+	solveInPlace(a, rhs)
+	return rhs
+}
+
+// ExpectedAbsorptionTimes returns E[rounds to absorption] from each
+// transient state: the solution of (I-Q)τ = 1.
+func (c *Chain) ExpectedAbsorptionTimes() []float64 {
+	nt := len(c.transient)
+	a := make([][]float64, nt)
+	rhs := make([][]float64, nt)
+	row := make([]float64, len(c.states))
+	for t, i := range c.transient {
+		c.TransitionRow(i, row)
+		a[t] = make([]float64, nt)
+		rhs[t] = []float64{1}
+		for j, p := range row {
+			if tp := c.trPos[j]; tp >= 0 {
+				a[t][tp] = -p
+			}
+		}
+		a[t][t] += 1
+	}
+	solveInPlace(a, rhs)
+	out := make([]float64, nt)
+	for t := range rhs {
+		out[t] = rhs[t][0]
+	}
+	return out
+}
+
+// AbsorptionFrom returns, for the given start configuration, the
+// absorption probability vector over colors and the expected absorption
+// time. Monochromatic starts return a unit vector and time 0.
+func (c *Chain) AbsorptionFrom(cfg colorcfg.Config) ([]float64, float64) {
+	i := c.IndexOf(cfg)
+	if a := c.absorbing[i]; a >= 0 {
+		out := make([]float64, c.K)
+		out[a] = 1
+		return out, 0
+	}
+	probs := c.AbsorptionProbs()
+	times := c.ExpectedAbsorptionTimes()
+	t := c.trPos[i]
+	return probs[t], times[t]
+}
+
+// TransientPos returns the transient index of state i, or -1.
+func (c *Chain) TransientPos(i int) int { return c.trPos[i] }
+
+// solveInPlace solves A·X = B by Gaussian elimination with partial
+// pivoting, overwriting B with the solution. A is destroyed.
+func solveInPlace(a [][]float64, b [][]float64) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, piv = v, r
+			}
+		}
+		if best == 0 {
+			panic("exact: singular linear system (chain not absorbing?)")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		// Eliminate below.
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for cc := col; cc < n; cc++ {
+				a[r][cc] -= f * a[col][cc]
+			}
+			for cc := range b[r] {
+				b[r][cc] -= f * b[col][cc]
+			}
+		}
+	}
+	// Back-substitute.
+	for col := n - 1; col >= 0; col-- {
+		inv := 1 / a[col][col]
+		for cc := range b[col] {
+			b[col][cc] *= inv
+		}
+		for r := col - 1; r >= 0; r-- {
+			f := a[r][col]
+			if f == 0 {
+				continue
+			}
+			for cc := range b[r] {
+				b[r][cc] -= f * b[col][cc]
+			}
+		}
+	}
+}

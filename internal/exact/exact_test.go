@@ -1,0 +1,201 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/rng"
+)
+
+func TestStateEnumeration(t *testing.T) {
+	c := New(4, 3, dynamics.ThreeMajority{})
+	// C(4+2, 2) = 15 compositions of 4 into 3 parts.
+	if c.States() != 15 {
+		t.Fatalf("states = %d, want 15", c.States())
+	}
+	// 3 absorbing states (one per color).
+	if c.TransientStates() != 12 {
+		t.Fatalf("transient = %d, want 12", c.TransientStates())
+	}
+	// Index round trip.
+	cfg := colorcfg.FromCounts(2, 1, 1)
+	i := c.IndexOf(cfg)
+	if !c.State(i).Equal(cfg) {
+		t.Fatal("IndexOf/State round trip failed")
+	}
+}
+
+func TestTransitionRowsAreStochastic(t *testing.T) {
+	c := New(6, 3, dynamics.ThreeMajority{})
+	row := make([]float64, c.States())
+	for i := 0; i < c.States(); i++ {
+		c.TransitionRow(i, row)
+		sum := 0.0
+		for _, p := range row {
+			if p < 0 || p > 1+1e-12 {
+				t.Fatalf("state %d: invalid probability %v", i, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("state %d: row sums to %v", i, sum)
+		}
+	}
+}
+
+func TestAbsorbingStatesAreFixed(t *testing.T) {
+	c := New(5, 2, dynamics.ThreeMajority{})
+	row := make([]float64, c.States())
+	mono := c.IndexOf(colorcfg.FromCounts(5, 0))
+	c.TransitionRow(mono, row)
+	if row[mono] != 1 {
+		t.Fatal("monochromatic state must self-loop with probability 1")
+	}
+}
+
+// TestPollingMartingaleExact is the sharpest validation available: for the
+// voter model the absorption probability into color j from configuration
+// c is exactly c_j/n.
+func TestPollingMartingaleExact(t *testing.T) {
+	c := New(12, 2, dynamics.Polling{})
+	probs := c.AbsorptionProbs()
+	for tpos, i := range c.transient {
+		st := c.State(i)
+		for j := 0; j < 2; j++ {
+			want := float64(st[j]) / 12
+			if math.Abs(probs[tpos][j]-want) > 1e-9 {
+				t.Fatalf("state %v: P(absorb %d) = %v, want %v",
+					st, j, probs[tpos][j], want)
+			}
+		}
+	}
+}
+
+func TestPollingMartingaleThreeColors(t *testing.T) {
+	c := New(9, 3, dynamics.Polling{})
+	probs, _ := c.AbsorptionFrom(colorcfg.FromCounts(5, 3, 1))
+	want := []float64{5.0 / 9, 3.0 / 9, 1.0 / 9}
+	for j := range want {
+		if math.Abs(probs[j]-want[j]) > 1e-9 {
+			t.Fatalf("P(absorb %d) = %v, want %v", j, probs[j], want[j])
+		}
+	}
+}
+
+func TestAbsorptionProbsSumToOne(t *testing.T) {
+	for _, model := range []dynamics.ProbModel{
+		dynamics.ThreeMajority{}, dynamics.Median{}, dynamics.Polling{},
+	} {
+		c := New(8, 3, model)
+		probs := c.AbsorptionProbs()
+		for tpos := range probs {
+			sum := 0.0
+			for _, p := range probs[tpos] {
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-8 {
+				t.Fatalf("%T state %v: absorption probs sum to %v",
+					model, c.State(c.transient[tpos]), sum)
+			}
+		}
+	}
+}
+
+func TestThreeMajorityBeatsPollingOnBias(t *testing.T) {
+	// From a 2:1 biased binary configuration the 3-majority absorption
+	// probability into the majority must exceed polling's martingale
+	// value (that is the whole point of sampling three).
+	n := int64(12)
+	start := colorcfg.FromCounts(8, 4)
+	maj := New(n, 2, dynamics.ThreeMajority{})
+	pMaj, _ := maj.AbsorptionFrom(start)
+	if pMaj[0] <= 8.0/12+0.05 {
+		t.Fatalf("3-majority majority-win %v barely above martingale 2/3", pMaj[0])
+	}
+}
+
+func TestExpectedTimesPositiveAndMonotone(t *testing.T) {
+	c := New(10, 2, dynamics.ThreeMajority{})
+	times := c.ExpectedAbsorptionTimes()
+	for tpos, tau := range times {
+		if tau <= 0 {
+			t.Fatalf("state %v: non-positive expected time %v",
+				c.State(c.transient[tpos]), tau)
+		}
+	}
+	// The balanced state takes longest among binary states.
+	balanced := c.TransientPos(c.IndexOf(colorcfg.FromCounts(5, 5)))
+	nearMono := c.TransientPos(c.IndexOf(colorcfg.FromCounts(9, 1)))
+	if times[balanced] <= times[nearMono] {
+		t.Fatalf("balanced time %v should exceed near-mono time %v",
+			times[balanced], times[nearMono])
+	}
+}
+
+// TestSimulatorMatchesExactChain closes the loop: Monte-Carlo absorption
+// frequencies from the engine must match the exact linear-algebra answer.
+func TestSimulatorMatchesExactChain(t *testing.T) {
+	n := int64(15)
+	start := colorcfg.FromCounts(7, 5, 3)
+	chain := New(n, 3, dynamics.ThreeMajority{})
+	want, wantTime := chain.AbsorptionFrom(start)
+
+	const reps = 20000
+	r := rng.New(42)
+	wins := make([]int, 3)
+	totalRounds := 0.0
+	for rep := 0; rep < reps; rep++ {
+		e := engine.NewCliqueMultinomial(dynamics.ThreeMajority{}, start)
+		rounds := 0
+		for !e.Config().IsMonochromatic() {
+			e.Step(r)
+			rounds++
+		}
+		wins[e.Config().Plurality()]++
+		totalRounds += float64(rounds) / reps
+	}
+	for j := range want {
+		got := float64(wins[j]) / reps
+		se := math.Sqrt(want[j]*(1-want[j])/reps) + 1e-9
+		if math.Abs(got-want[j]) > 5*se {
+			t.Errorf("color %d: Monte-Carlo %v vs exact %v (se %v)", j, got, want[j], se)
+		}
+	}
+	// Expected time: sd of the absorption time is a few rounds here; the
+	// mean over 20000 reps is tight.
+	if math.Abs(totalRounds-wantTime) > 0.2 {
+		t.Errorf("Monte-Carlo mean time %v vs exact %v", totalRounds, wantTime)
+	}
+}
+
+func TestMedianChainFavorsMedianColor(t *testing.T) {
+	// (4, 5, 3): color 1 is the plurality AND holds the median; median
+	// dynamics should absorb into it with the largest probability.
+	chain := New(12, 3, dynamics.Median{})
+	probs, _ := chain.AbsorptionFrom(colorcfg.FromCounts(4, 5, 3))
+	if !(probs[1] > probs[0] && probs[1] > probs[2]) {
+		t.Fatalf("median absorption probs %v should favor color 1", probs)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"badDims":   func() { New(0, 2, dynamics.Polling{}) },
+		"tooBig":    func() { New(1000, 5, dynamics.Polling{}) },
+		"wrongKDim": func() { New(4, 2, dynamics.Polling{}).IndexOf(colorcfg.FromCounts(2, 1, 1)) },
+		"wrongNDim": func() { New(4, 2, dynamics.Polling{}).IndexOf(colorcfg.FromCounts(3, 3)) },
+		"rowLen":    func() { New(4, 2, dynamics.Polling{}).TransitionRow(0, make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

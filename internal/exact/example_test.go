@@ -1,0 +1,28 @@
+package exact_test
+
+import (
+	"fmt"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
+	"plurality/internal/exact"
+)
+
+// ExampleChain_AbsorptionFrom solves a small system exactly. Polling's
+// absorption law is the voter martingale c_j/n, so the output is exact
+// rational arithmetic up to float rounding.
+func ExampleChain_AbsorptionFrom() {
+	chain := exact.New(10, 2, dynamics.Polling{})
+	probs, _ := chain.AbsorptionFrom(colorcfg.FromCounts(7, 3))
+	fmt.Printf("%.1f %.1f\n", probs[0], probs[1])
+	// Output:
+	// 0.7 0.3
+}
+
+// ExampleNew shows the state-space size of a small chain.
+func ExampleNew() {
+	chain := exact.New(4, 3, dynamics.ThreeMajority{})
+	fmt.Println(chain.States(), chain.TransientStates())
+	// Output:
+	// 15 12
+}

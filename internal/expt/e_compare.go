@@ -1,0 +1,247 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/core"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/rng"
+	"plurality/internal/stats"
+)
+
+func init() {
+	register("E7", "Median vs 3-majority — the exponential time/answer gap", runE7)
+	register("E10", "Polling & 2-choices fail; 3-majority does not", runE10)
+	register("E11", "Undecided-state dynamics — md-linear time and plurality death", runE11)
+}
+
+// runE7 contrasts the median dynamics (Doerr et al.) with 3-majority on the
+// same biased k-color inputs. Median stabilizes in O(log n) rounds
+// regardless of k — but on an approximate median color, not the plurality —
+// while 3-majority takes Θ(k·ln n) and returns the right answer. The two
+// columns "rounds" and "won plurality" make both halves of the gap visible:
+// as k grows the time ratio diverges (exponentially in the exponent of
+// k = n^a) and median's plurality success stays ≈ 0.
+func runE7(p Profile, seed uint64) []*Table {
+	n := p.N
+	ks := []int{8, 16, 32, 64, 128}
+	if quickish(p) {
+		ks = []int{8, 32}
+	}
+	t := &Table{
+		ID:    "E7",
+		Title: "median vs 3-majority: rounds and correctness vs k",
+		Note: fmt.Sprintf("n=%d, Theorem-2-style start with slight plurality on color 0, %d reps; prediction: median rounds ≈ O(ln n) flat, 3-majority rounds ∝ k·ln n, median never returns the plurality",
+			n, p.Reps),
+		Columns: []string{"k", "median_rounds", "median_won", "3maj_rounds", "3maj_won", "time_ratio"},
+	}
+	for _, k := range ks {
+		k := k
+		type out struct {
+			rounds float64
+			won    bool
+		}
+		run := func(rule dynamics.Rule, offset uint64) []out {
+			return ParallelReps(p, p.Reps, seed+uint64(k)*31+offset, func(_ int, r *rng.Rand) out {
+				// Near-balanced start with a small planted plurality on
+				// color 0 — enough for 3-majority to find, invisible to
+				// median (whose fixed point is the middle color).
+				init := colorcfg.Theorem2(n, k, 0.4)
+				e := engine.NewCliqueMultinomial(rule, init)
+				res := core.Run(e, core.Options{MaxRounds: 500_000, Rand: r})
+				return out{rounds: float64(res.Rounds), won: res.WonInitialPlurality}
+			})
+		}
+		med := run(dynamics.Median{}, 0)
+		maj := run(dynamics.ThreeMajority{}, 7777)
+		summarize := func(os []out) (stats.Summary, int) {
+			rs := make([]float64, len(os))
+			wins := 0
+			for i, o := range os {
+				rs[i] = o.rounds
+				if o.won {
+					wins++
+				}
+			}
+			return stats.Summarize(rs), wins
+		}
+		ms, mw := summarize(med)
+		js, jw := summarize(maj)
+		t.AddRow(fmt.Sprintf("%d", k),
+			fmtF(ms.Mean), fmt.Sprintf("%d/%d", mw, len(med)),
+			fmtF(js.Mean), fmt.Sprintf("%d/%d", jw, len(maj)),
+			fmtF(js.Mean/math.Max(ms.Mean, 1)))
+	}
+	return []*Table{t}
+}
+
+// runE10 reproduces the paper's motivation for sampling three: the polling
+// (1-majority) dynamics converges to the minority color with constant
+// probability even for k = 2 and bias s = n/2, and 2-choices with uniform
+// tie-breaking is provably the same process. 3-majority's failure
+// probability vanishes. The voter-model martingale predicts polling's
+// minority-win probability = initial minority share = 1/4 independent of n.
+func runE10(p Profile, seed uint64) []*Table {
+	reps := p.Reps * 10
+	ns := []int64{1000, 4000, 16000}
+	if quickish(p) {
+		ns = []int64{1000, 4000}
+	}
+	rules := []dynamics.Rule{dynamics.Polling{}, dynamics.TwoChoices{}, dynamics.ThreeMajority{}}
+	t := &Table{
+		ID:    "E10",
+		Title: "P(converge to minority) for k=2, c = (3n/4, n/4)",
+		Note: fmt.Sprintf("%d reps; voter-model prediction: polling and 2-choices lose with prob ≈ 0.25 at every n and take Θ(n) rounds; 3-majority loses with prob → 0 in O(log n) rounds",
+			reps),
+		Columns: []string{"rule", "n", "P(minority_wins)", "wilson95", "rounds_mean"},
+	}
+	for _, rule := range rules {
+		for _, n := range ns {
+			rule, n := rule, n
+			type out struct {
+				minority bool
+				rounds   float64
+			}
+			results := ParallelReps(p, reps, seed+hashName(rule.Name())+uint64(n), func(_ int, r *rng.Rand) out {
+				init := colorcfg.FromCounts(3*n/4, n/4)
+				e := engine.NewCliqueMultinomial(rule, init)
+				res := core.Run(e, core.Options{MaxRounds: 2_000_000, Rand: r})
+				return out{minority: res.Stopped && res.Winner == 1, rounds: float64(res.Rounds)}
+			})
+			losses := 0
+			rounds := make([]float64, len(results))
+			for i, o := range results {
+				if o.minority {
+					losses++
+				}
+				rounds[i] = o.rounds
+			}
+			rate := float64(losses) / float64(len(results))
+			lo, hi := stats.WilsonInterval(losses, len(results), 1.96)
+			t.AddRow(rule.Name(), fmtI(n), fmtF(rate),
+				fmt.Sprintf("[%.3f,%.3f]", lo, hi), fmtF(stats.Mean(rounds)))
+		}
+	}
+	return []*Table{t}
+}
+
+// runE11 measures the undecided-state dynamics. Table 1: rounds to full
+// consensus across configuration shapes with increasing monochromatic
+// distance md(c); the SODA'15 analysis predicts time ≈ Θ(md·ln n), so the
+// normalized column is roughly flat, while 3-majority on the same inputs
+// is governed by bias/λ, not md. Table 2: the k = ω(sqrt n) failure mode —
+// from a balanced configuration with k = n/2 colors the plurality color
+// dies within a few rounds with probability ≈ 1.
+func runE11(p Profile, seed uint64) []*Table {
+	n := p.N
+	type shape struct {
+		name string
+		mk   func() colorcfg.Config
+	}
+	shapes := []shape{
+		{"planted c1=n/2", func() colorcfg.Config { return colorcfg.PlantedLeader(n, 64, n/2) }},
+		{"two-block k=8", func() colorcfg.Config { return colorcfg.TwoBlock(n, 8, n/50, 0.95) }},
+		{"near-balanced k=4", func() colorcfg.Config { return colorcfg.Biased(n, 4, n/100) }},
+		{"near-balanced k=16", func() colorcfg.Config { return colorcfg.Biased(n, 16, n/100) }},
+		{"near-balanced k=64", func() colorcfg.Config { return colorcfg.Biased(n, 64, n/100) }},
+	}
+	if quickish(p) {
+		shapes = shapes[:4]
+	}
+	t1 := &Table{
+		ID:    "E11",
+		Title: "undecided-state dynamics: rounds vs monochromatic distance",
+		Note: fmt.Sprintf("n=%d, %d reps; prediction: undecided rounds ≈ Θ(md·ln n) — normalized column flat; 3-majority columns for reference",
+			n, p.Reps),
+		Columns: []string{"shape", "md(c)", "und_rounds", "und/(md·ln n)", "und_won", "3maj_rounds"},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		init := sh.mk()
+		md := init.MonochromaticDistance()
+		type out struct {
+			rounds float64
+			won    bool
+		}
+		und := ParallelReps(p, p.Reps, seed+hashName(sh.name), func(_ int, r *rng.Rand) out {
+			e := engine.NewUndecidedExact(sh.mk())
+			res := core.Run(e, core.Options{
+				MaxRounds: 500_000,
+				Rand:      r,
+				Stop:      core.WhenConsensusOf(n),
+			})
+			return out{rounds: float64(res.Rounds), won: res.Stopped && res.Winner == res.InitialPlurality}
+		})
+		maj := ParallelReps(p, p.Reps, seed+hashName(sh.name)+99, func(_ int, r *rng.Rand) float64 {
+			e := engine.NewCliqueMultinomial(dynamics.ThreeMajority{}, sh.mk())
+			res := core.Run(e, core.Options{MaxRounds: 500_000, Rand: r})
+			return float64(res.Rounds)
+		})
+		uRounds := make([]float64, len(und))
+		uWins := 0
+		for i, o := range und {
+			uRounds[i] = o.rounds
+			if o.won {
+				uWins++
+			}
+		}
+		us := stats.Summarize(uRounds)
+		t1.AddRow(sh.name, fmtF(md), fmtF(us.Mean),
+			fmtF(us.Mean/(md*math.Log(float64(n)))),
+			fmt.Sprintf("%d/%d", uWins, len(und)),
+			fmtF(stats.Mean(maj)))
+	}
+
+	// Table 2: plurality death at k = ω(sqrt n).
+	t2 := &Table{
+		ID:    "E11b",
+		Title: "undecided-state dynamics: plurality death at k = n/2",
+		Note:  "balanced config, 2 agents per color, +1 planted on color 0; P(color 0 extinct within 10 rounds) should be ≈ 1 for the undecided dynamics (SODA'15 §3 failure mode), while 3-majority retains color 0 with constant probability",
+		Columns: []string{
+			"n", "k", "rule", "P(plurality_dead_by_r10)", "wilson95",
+		},
+	}
+	nd := p.N / 2
+	kd := int(nd / 2)
+	deathProb := func(und bool, offset uint64) (int, int) {
+		results := ParallelReps(p, p.Reps, seed+offset, func(_ int, r *rng.Rand) bool {
+			init := colorcfg.Balanced(nd, kd)
+			init[0]++
+			init[kd-1]--
+			var e engine.Engine
+			if und {
+				e = engine.NewUndecidedExact(init)
+			} else {
+				e = engine.NewCliqueMultinomial(dynamics.ThreeMajority{}, init)
+			}
+			for i := 0; i < 10; i++ {
+				e.Step(r)
+				if e.Config()[0] == 0 {
+					return true
+				}
+			}
+			return false
+		})
+		dead := 0
+		for _, d := range results {
+			if d {
+				dead++
+			}
+		}
+		return dead, len(results)
+	}
+	for _, cfg := range []struct {
+		name   string
+		und    bool
+		offset uint64
+	}{{"undecided", true, 555}, {"3-majority", false, 556}} {
+		dead, total := deathProb(cfg.und, cfg.offset)
+		lo, hi := stats.WilsonInterval(dead, total, 1.96)
+		t2.AddRow(fmtI(nd), fmt.Sprintf("%d", kd), cfg.name,
+			fmt.Sprintf("%d/%d", dead, total), fmt.Sprintf("[%.2f,%.2f]", lo, hi))
+	}
+	return []*Table{t1, t2}
+}

@@ -1,0 +1,226 @@
+// Package expt implements the benchmark harness: the twelve experiments
+// E1–E12 of DESIGN.md, each regenerating one of the paper's theorem-level
+// "tables/figures" (convergence-time scaling, lower bounds, rule-zoo
+// failure probabilities, adversarial self-stabilization, drift validation).
+//
+// Experiments are pure functions from (Profile, seed) to a Table; the
+// Profile selects the workload scale (Quick for tests/benches, Full for
+// the shipped EXPERIMENTS.md numbers). Replicates run in parallel across
+// worker goroutines with independent rng streams, so every table is
+// reproducible from its seed.
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"plurality/internal/rng"
+)
+
+// Table is a rendered experiment result: one table (or figure series) of
+// the reproduction.
+type Table struct {
+	ID      string
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; the cell count must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("expt: row has %d cells, table %s has %d columns",
+			len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Text renders the table with aligned columns for terminal output.
+func (t *Table) Text() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as CSV (header + rows).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(t.Columns)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Note)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Profile scales an experiment. Quick keeps unit tests and benchmarks
+// fast; Full produces the EXPERIMENTS.md numbers.
+type Profile struct {
+	Name string
+	// N is the base population size.
+	N int64
+	// Reps is the number of replicates per sweep point.
+	Reps int
+	// Workers bounds replicate parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Quick is the test/bench profile.
+var Quick = Profile{Name: "quick", N: 20_000, Reps: 8}
+
+// Full is the report profile.
+var Full = Profile{Name: "full", N: 200_000, Reps: 40}
+
+func (p Profile) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelReps evaluates f on reps independent replicates, fanning out
+// across the profile's workers. Replicate i receives an rng stream derived
+// from (seed, i), so results are independent of scheduling and worker
+// count. The returned slice is indexed by replicate.
+func ParallelReps[T any](p Profile, reps int, seed uint64, f func(rep int, r *rng.Rand) T) []T {
+	out := make([]T, reps)
+	workers := p.workers()
+	if workers > reps {
+		workers = reps
+	}
+	if workers <= 1 {
+		base := rng.New(seed)
+		for i := 0; i < reps; i++ {
+			out[i] = f(i, base.NewStream())
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	// Pre-derive one seed per replicate so results do not depend on which
+	// worker picks up which replicate.
+	base := rng.New(seed)
+	seeds := make([]uint64, reps)
+	for i := range seeds {
+		seeds[i] = base.Uint64()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = f(i, rng.New(seeds[i]))
+			}
+		}()
+	}
+	for i := 0; i < reps; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Experiment is a registered experiment: a function from profile and seed
+// to a set of result tables (most produce one table; E9 produces two).
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(p Profile, seed uint64) []*Table
+}
+
+// registry holds the experiments in display order.
+var registry []Experiment
+
+func register(id, title string, run func(p Profile, seed uint64) []*Table) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered experiments sorted by numeric ID (E1, E2, …).
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool {
+		return idNum(out[i].ID) < idNum(out[j].ID)
+	})
+	return out
+}
+
+// idNum extracts the numeric part of an "E<number>" id (0 on parse error,
+// which sorts malformed ids first and keeps All total).
+func idNum(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "E"))
+	return n
+}
+
+// ByID returns the experiment with the given ID, or false.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// fmtF renders a float compactly for table cells.
+func fmtF(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// fmtI renders an int64.
+func fmtI(v int64) string { return fmt.Sprintf("%d", v) }

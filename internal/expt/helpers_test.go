@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"testing"
+
+	"plurality/internal/rng"
+)
+
+func TestHashNameStableAndDistinct(t *testing.T) {
+	a1 := hashName("3-majority")
+	a2 := hashName("3-majority")
+	b := hashName("median")
+	if a1 != a2 {
+		t.Fatal("hashName not deterministic")
+	}
+	if a1 == b {
+		t.Fatal("hashName collides on distinct rules")
+	}
+	if hashName("") == 0 {
+		t.Fatal("empty-name hash should be the FNV offset basis, not 0")
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if fmtF(1234.5678) != "1.23e+03" {
+		t.Errorf("fmtF = %q", fmtF(1234.5678))
+	}
+	if fmtF(0.5) != "0.5" {
+		t.Errorf("fmtF = %q", fmtF(0.5))
+	}
+	if fmtI(-42) != "-42" {
+		t.Errorf("fmtI = %q", fmtI(-42))
+	}
+}
+
+func TestQuickish(t *testing.T) {
+	if !quickish(Quick) {
+		t.Error("Quick profile must be quickish")
+	}
+	if quickish(Full) {
+		t.Error("Full profile must not be quickish")
+	}
+}
+
+func TestProfileWorkers(t *testing.T) {
+	p := Profile{Workers: 3}
+	if p.workers() != 3 {
+		t.Errorf("workers() = %d", p.workers())
+	}
+	p.Workers = 0
+	if p.workers() < 1 {
+		t.Error("default workers must be >= 1")
+	}
+}
+
+func TestParallelRepsSingleWorker(t *testing.T) {
+	p := Profile{Workers: 1}
+	out := ParallelReps(p, 5, 9, func(rep int, _ *rng.Rand) int {
+		return rep * 2
+	})
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,419 @@
+// Package graph provides the communication-topology substrate. The paper's
+// model is the clique with uniform sampling (self included, with
+// repetitions); Complete reproduces it exactly. The remaining topologies
+// (cycle, torus, random regular, Erdős–Rényi, star) support the
+// beyond-the-clique extension experiments.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/rng"
+)
+
+// Graph is a static undirected topology over vertices [0, n). Engines only
+// require uniform neighbor sampling; Degree and Neighbor expose the
+// structure for tests and for exhaustive iteration.
+type Graph interface {
+	// Name identifies the topology in experiment tables.
+	Name() string
+	// N is the number of vertices.
+	N() int64
+	// Degree returns the number of neighbors of v (for Complete with
+	// IncludeSelf, v counts itself).
+	Degree(v int64) int64
+	// Neighbor returns the i-th neighbor of v, 0 <= i < Degree(v).
+	Neighbor(v, i int64) int64
+	// SampleNeighbor returns a uniformly random neighbor of v.
+	SampleNeighbor(v int64, r *rng.Rand) int64
+}
+
+// ----- complete graph -----
+
+// Complete is the paper's topology: every agent can sample every agent.
+// With IncludeSelf (the paper's convention) samples are uniform over all n
+// vertices including the sampler; without it they are uniform over the
+// other n-1.
+type Complete struct {
+	Vertices    int64
+	IncludeSelf bool
+}
+
+// NewComplete returns the paper's clique (self included).
+func NewComplete(n int64) Complete {
+	if n <= 0 {
+		panic("graph: Complete needs n > 0")
+	}
+	return Complete{Vertices: n, IncludeSelf: true}
+}
+
+// Name implements Graph.
+func (g Complete) Name() string {
+	if g.IncludeSelf {
+		return "complete+self"
+	}
+	return "complete"
+}
+
+// N implements Graph.
+func (g Complete) N() int64 { return g.Vertices }
+
+// Degree implements Graph.
+func (g Complete) Degree(int64) int64 {
+	if g.IncludeSelf {
+		return g.Vertices
+	}
+	return g.Vertices - 1
+}
+
+// Neighbor implements Graph.
+func (g Complete) Neighbor(v, i int64) int64 {
+	if g.IncludeSelf {
+		return i
+	}
+	if i >= v {
+		return i + 1
+	}
+	return i
+}
+
+// SampleNeighbor implements Graph.
+func (g Complete) SampleNeighbor(v int64, r *rng.Rand) int64 {
+	if g.IncludeSelf {
+		return r.Int63n(g.Vertices)
+	}
+	u := r.Int63n(g.Vertices - 1)
+	if u >= v {
+		u++
+	}
+	return u
+}
+
+// ----- cycle -----
+
+// Cycle is the n-vertex ring.
+type Cycle struct {
+	Vertices int64
+}
+
+// NewCycle returns a ring on n >= 3 vertices.
+func NewCycle(n int64) Cycle {
+	if n < 3 {
+		panic("graph: Cycle needs n >= 3")
+	}
+	return Cycle{Vertices: n}
+}
+
+// Name implements Graph.
+func (Cycle) Name() string { return "cycle" }
+
+// N implements Graph.
+func (g Cycle) N() int64 { return g.Vertices }
+
+// Degree implements Graph.
+func (Cycle) Degree(int64) int64 { return 2 }
+
+// Neighbor implements Graph.
+func (g Cycle) Neighbor(v, i int64) int64 {
+	if i == 0 {
+		return (v + 1) % g.Vertices
+	}
+	return (v - 1 + g.Vertices) % g.Vertices
+}
+
+// SampleNeighbor implements Graph.
+func (g Cycle) SampleNeighbor(v int64, r *rng.Rand) int64 {
+	return g.Neighbor(v, r.Int63n(2))
+}
+
+// ----- torus -----
+
+// Torus is the rows×cols grid with wraparound (4-regular).
+type Torus struct {
+	Rows, Cols int64
+}
+
+// NewTorus returns a torus; both dimensions must be >= 3 so the four
+// neighbors are distinct.
+func NewTorus(rows, cols int64) Torus {
+	if rows < 3 || cols < 3 {
+		panic("graph: Torus needs rows, cols >= 3")
+	}
+	return Torus{Rows: rows, Cols: cols}
+}
+
+// Name implements Graph.
+func (Torus) Name() string { return "torus" }
+
+// N implements Graph.
+func (g Torus) N() int64 { return g.Rows * g.Cols }
+
+// Degree implements Graph.
+func (Torus) Degree(int64) int64 { return 4 }
+
+// Neighbor implements Graph.
+func (g Torus) Neighbor(v, i int64) int64 {
+	row, col := v/g.Cols, v%g.Cols
+	switch i {
+	case 0:
+		col = (col + 1) % g.Cols
+	case 1:
+		col = (col - 1 + g.Cols) % g.Cols
+	case 2:
+		row = (row + 1) % g.Rows
+	default:
+		row = (row - 1 + g.Rows) % g.Rows
+	}
+	return row*g.Cols + col
+}
+
+// SampleNeighbor implements Graph.
+func (g Torus) SampleNeighbor(v int64, r *rng.Rand) int64 {
+	return g.Neighbor(v, r.Int63n(4))
+}
+
+// ----- star -----
+
+// Star has vertex 0 as the hub adjacent to all leaves.
+type Star struct {
+	Vertices int64
+}
+
+// NewStar returns a star on n >= 2 vertices with hub 0.
+func NewStar(n int64) Star {
+	if n < 2 {
+		panic("graph: Star needs n >= 2")
+	}
+	return Star{Vertices: n}
+}
+
+// Name implements Graph.
+func (Star) Name() string { return "star" }
+
+// N implements Graph.
+func (g Star) N() int64 { return g.Vertices }
+
+// Degree implements Graph.
+func (g Star) Degree(v int64) int64 {
+	if v == 0 {
+		return g.Vertices - 1
+	}
+	return 1
+}
+
+// Neighbor implements Graph.
+func (g Star) Neighbor(v, i int64) int64 {
+	if v == 0 {
+		return i + 1
+	}
+	return 0
+}
+
+// SampleNeighbor implements Graph.
+func (g Star) SampleNeighbor(v int64, r *rng.Rand) int64 {
+	if v == 0 {
+		return 1 + r.Int63n(g.Vertices-1)
+	}
+	return 0
+}
+
+// ----- adjacency-list graphs (random regular, Erdős–Rényi) -----
+
+// AdjList is a general adjacency-list graph used by the random
+// constructions. CSR layout: the neighbors of v are
+// adj[offsets[v]:offsets[v+1]].
+type AdjList struct {
+	GraphName string
+	Offsets   []int64
+	Adj       []int64
+}
+
+// Name implements Graph.
+func (g *AdjList) Name() string { return g.GraphName }
+
+// N implements Graph.
+func (g *AdjList) N() int64 { return int64(len(g.Offsets)) - 1 }
+
+// Degree implements Graph.
+func (g *AdjList) Degree(v int64) int64 { return g.Offsets[v+1] - g.Offsets[v] }
+
+// Neighbor implements Graph.
+func (g *AdjList) Neighbor(v, i int64) int64 { return g.Adj[g.Offsets[v]+i] }
+
+// SampleNeighbor implements Graph. A vertex with no neighbors samples
+// itself, so isolated vertices in sparse G(n,p) keep their color forever.
+func (g *AdjList) SampleNeighbor(v int64, r *rng.Rand) int64 {
+	d := g.Degree(v)
+	if d == 0 {
+		return v
+	}
+	return g.Adj[g.Offsets[v]+r.Int63n(d)]
+}
+
+// buildCSR converts per-vertex neighbor slices into CSR form.
+func buildCSR(name string, nbrs [][]int64) *AdjList {
+	n := len(nbrs)
+	offsets := make([]int64, n+1)
+	var total int64
+	for v, ns := range nbrs {
+		offsets[v] = total
+		total += int64(len(ns))
+	}
+	offsets[n] = total
+	adj := make([]int64, total)
+	i := int64(0)
+	for _, ns := range nbrs {
+		copy(adj[i:], ns)
+		i += int64(len(ns))
+	}
+	return &AdjList{GraphName: name, Offsets: offsets, Adj: adj}
+}
+
+// NewRandomRegular samples a random d-regular simple graph on n vertices
+// with the configuration (pairing) model followed by edge-swap repair:
+// self-loops and parallel edges left by the pairing are removed by
+// swapping endpoints with uniformly random other edges (each swap
+// preserves all degrees). The repair touches O(d²) edges in expectation,
+// so the construction is near-linear for the degrees used here. n·d must
+// be even and 1 <= d < n.
+func NewRandomRegular(n int64, d int, r *rng.Rand) *AdjList {
+	if int64(d) >= n || d < 1 {
+		panic("graph: random regular needs 1 <= d < n")
+	}
+	if n*int64(d)%2 != 0 {
+		panic("graph: random regular needs n*d even")
+	}
+	m := n * int64(d) / 2
+	key := func(a, b int64) [2]int64 {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int64{a, b}
+	}
+
+	const restarts = 100
+	for attempt := 0; attempt < restarts; attempt++ {
+		// Random pairing of stubs.
+		stubs := make([]int64, 2*m)
+		idx := 0
+		for v := int64(0); v < n; v++ {
+			for j := 0; j < d; j++ {
+				stubs[idx] = v
+				idx++
+			}
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		edges := make([][2]int64, m)
+		count := make(map[[2]int64]int, m)
+		for i := int64(0); i < m; i++ {
+			edges[i] = [2]int64{stubs[2*i], stubs[2*i+1]}
+			count[key(edges[i][0], edges[i][1])]++
+		}
+		isBad := func(i int64) bool {
+			e := edges[i]
+			return e[0] == e[1] || count[key(e[0], e[1])] > 1
+		}
+
+		// Degree-preserving swap repair.
+		budget := 200*m + 10000
+		ok := true
+		for i := int64(0); i < m; i++ {
+			for isBad(i) {
+				if budget <= 0 {
+					ok = false
+					break
+				}
+				budget--
+				j := r.Int63n(m)
+				if j == i {
+					continue
+				}
+				e1, e2 := edges[i], edges[j]
+				n1 := [2]int64{e1[0], e2[1]}
+				n2 := [2]int64{e2[0], e1[1]}
+				if n1[0] == n1[1] || n2[0] == n2[1] {
+					continue
+				}
+				k1, k2 := key(n1[0], n1[1]), key(n2[0], n2[1])
+				ko1, ko2 := key(e1[0], e1[1]), key(e2[0], e2[1])
+				count[ko1]--
+				count[ko2]--
+				if k1 == k2 || count[k1] > 0 || count[k2] > 0 {
+					count[ko1]++
+					count[ko2]++
+					continue
+				}
+				count[k1]++
+				count[k2]++
+				edges[i], edges[j] = n1, n2
+				// edges[j] may have become bad only if it was already bad;
+				// re-sweeping j is handled by the outer loop when j > i,
+				// and j < i cannot become bad: its new key was verified
+				// fresh. edges[i] is rechecked by the while condition.
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		nbrs := make([][]int64, n)
+		for v := range nbrs {
+			nbrs[v] = make([]int64, 0, d)
+		}
+		for _, e := range edges {
+			nbrs[e[0]] = append(nbrs[e[0]], e[1])
+			nbrs[e[1]] = append(nbrs[e[1]], e[0])
+		}
+		return buildCSR(fmt.Sprintf("random-%d-regular", d), nbrs)
+	}
+	panic("graph: failed to sample a simple random regular graph")
+}
+
+// NewErdosRenyi samples G(n, p): every unordered pair is an edge
+// independently with probability p. Edge generation skips over non-edges
+// with geometric jumps, so the cost is O(n + m) rather than O(n²).
+func NewErdosRenyi(n int64, p float64, r *rng.Rand) *AdjList {
+	if n < 1 {
+		panic("graph: ErdosRenyi needs n >= 1")
+	}
+	if p < 0 || p > 1 {
+		panic("graph: ErdosRenyi needs p in [0,1]")
+	}
+	nbrs := make([][]int64, n)
+	if p > 0 {
+		// Row-wise geometric skipping over candidate pairs (v, u), u > v.
+		for v := int64(0); v < n-1; v++ {
+			u := v
+			for {
+				if p >= 1 {
+					u++
+				} else {
+					u += geometricSkip(r, p)
+				}
+				if u >= n {
+					break
+				}
+				nbrs[v] = append(nbrs[v], u)
+				nbrs[u] = append(nbrs[u], v)
+			}
+		}
+	}
+	return buildCSR(fmt.Sprintf("gnp(p=%g)", p), nbrs)
+}
+
+// geometricSkip returns 1 + Geometric(p): the gap to the next success in a
+// Bernoulli(p) sequence.
+func geometricSkip(r *rng.Rand, p float64) int64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	s := int64(math.Log(u)/math.Log(1-p)) + 1
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

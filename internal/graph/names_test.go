@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"plurality/internal/rng"
+)
+
+func TestNames(t *testing.T) {
+	r := rng.New(1)
+	cases := map[string]Graph{
+		"complete+self":    NewComplete(5),
+		"complete":         Complete{Vertices: 5},
+		"cycle":            NewCycle(5),
+		"torus":            NewTorus(3, 3),
+		"star":             NewStar(4),
+		"random-2-regular": NewRandomRegular(6, 2, r),
+	}
+	for want, g := range cases {
+		if g.Name() != want {
+			t.Errorf("Name() = %q, want %q", g.Name(), want)
+		}
+	}
+	er := NewErdosRenyi(10, 0.5, r)
+	if !strings.HasPrefix(er.Name(), "gnp(") {
+		t.Errorf("ER name %q", er.Name())
+	}
+}
+
+func TestGeometricSkipAlwaysPositive(t *testing.T) {
+	r := rng.New(2)
+	for _, p := range []float64{0.001, 0.5, 0.999} {
+		for i := 0; i < 10000; i++ {
+			if s := geometricSkip(r, p); s < 1 {
+				t.Fatalf("skip %d < 1 at p=%v", s, p)
+			}
+		}
+	}
+}
+
+func TestGeometricSkipMean(t *testing.T) {
+	// E[skip] = 1/p.
+	r := rng.New(3)
+	const p, draws = 0.2, 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += float64(geometricSkip(r, p))
+	}
+	mean := sum / draws
+	if mean < 4.8 || mean > 5.2 {
+		t.Fatalf("mean skip %v, want ~5", mean)
+	}
+}

@@ -1,0 +1,29 @@
+package meanfield_test
+
+import (
+	"fmt"
+
+	"plurality/internal/dynamics"
+	"plurality/internal/meanfield"
+)
+
+// ExampleIterate runs the infinite-population recursion: a 40% leader
+// among four colors races to 1 deterministically.
+func ExampleIterate() {
+	traj := meanfield.Iterate(dynamics.ThreeMajority{}, []float64{0.4, 0.2, 0.2, 0.2}, 20)
+	last := traj[len(traj)-1]
+	fmt.Printf("leader after 20 rounds: %.4f\n", last[0])
+	// Output:
+	// leader after 20 rounds: 1.0000
+}
+
+// ExampleIsFixedPoint shows that monochromatic points are absorbing and
+// that polling's mean-field map is the identity (every point is fixed —
+// the voter martingale).
+func ExampleIsFixedPoint() {
+	fmt.Println(meanfield.IsFixedPoint(dynamics.ThreeMajority{}, []float64{1, 0}, 1e-9))
+	fmt.Println(meanfield.IsFixedPoint(dynamics.Polling{}, []float64{0.37, 0.63}, 1e-6))
+	// Output:
+	// true
+	// true
+}

@@ -1,0 +1,75 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUint32Range(t *testing.T) {
+	r := New(21)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		sum += float64(r.Uint32())
+	}
+	mean := sum / draws
+	want := float64(1<<31) - 0.5
+	if math.Abs(mean-want)/want > 0.01 {
+		t.Fatalf("Uint32 mean %v far from %v", mean, want)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(22)
+	for i := 0; i < 100000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned a negative value")
+		}
+	}
+}
+
+func TestInt63nBoundsAndUniform(t *testing.T) {
+	r := New(23)
+	var counts [7]int
+	const draws = 140000
+	for i := 0; i < draws; i++ {
+		v := r.Int63n(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+		counts[v]++
+	}
+	expected := float64(draws) / 7
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("bucket %d count %d deviates from %v", i, c, expected)
+		}
+	}
+}
+
+func TestInt63nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) did not panic")
+		}
+	}()
+	New(1).Int63n(0)
+}
+
+func TestUint64nSmallModuliUnbiased(t *testing.T) {
+	// Exercise the Lemire rejection path with a modulus just below a power
+	// of two (worst case for naive modulo).
+	r := New(24)
+	const m = (1 << 3) - 1 // 7
+	var counts [m]int
+	const draws = 70000
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(m)]++
+	}
+	expected := float64(draws) / m
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("bucket %d count %d deviates", i, c)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package trace records per-round trajectories of a consensus process and
+// analyzes them: phase segmentation following the paper's proof structure
+// (Lemma 3 growth / Lemma 4 decay / Lemma 5 extinction), growth-rate
+// estimation, and CSV export for external plotting.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"plurality/internal/colorcfg"
+)
+
+// Point is one recorded round.
+type Point struct {
+	Round int
+	// CMax is the plurality count c_1.
+	CMax int64
+	// CSecond is the runner-up count c_2.
+	CSecond int64
+	// Bias is c_1 - c_2.
+	Bias int64
+	// MinorityMass is n - c_1.
+	MinorityMass int64
+	// Support is the number of colors still alive.
+	Support int
+	// Plurality is the current plurality color.
+	Plurality colorcfg.Color
+}
+
+// Recorder captures a Point per round. Use Observe as a core.Options
+// OnRound hook (record the initial configuration separately with
+// ObserveInitial).
+type Recorder struct {
+	N      int64
+	Points []Point
+}
+
+// NewRecorder returns a Recorder for a population of n agents.
+func NewRecorder(n int64) *Recorder {
+	return &Recorder{N: n}
+}
+
+// ObserveInitial records round 0.
+func (rec *Recorder) ObserveInitial(c colorcfg.Config) {
+	rec.Observe(0, c)
+}
+
+// Observe records one round; it has the signature of core.Options.OnRound.
+func (rec *Recorder) Observe(round int, c colorcfg.Config) {
+	first, second := c.TopTwo()
+	rec.Points = append(rec.Points, Point{
+		Round:        round,
+		CMax:         first,
+		CSecond:      second,
+		Bias:         first - second,
+		MinorityMass: rec.N - first,
+		Support:      c.Support(),
+		Plurality:    c.Plurality(),
+	})
+}
+
+// Len returns the number of recorded points.
+func (rec *Recorder) Len() int { return len(rec.Points) }
+
+// WriteCSV emits the trajectory as CSV with a header row.
+func (rec *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"round", "c_max", "c_second", "bias", "minority_mass", "support", "plurality"}); err != nil {
+		return err
+	}
+	for _, p := range rec.Points {
+		err := cw.Write([]string{
+			strconv.Itoa(p.Round),
+			strconv.FormatInt(p.CMax, 10),
+			strconv.FormatInt(p.CSecond, 10),
+			strconv.FormatInt(p.Bias, 10),
+			strconv.FormatInt(p.MinorityMass, 10),
+			strconv.Itoa(p.Support),
+			strconv.FormatInt(int64(p.Plurality), 10),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Phase identifies one of the paper's three analysis phases.
+type Phase int
+
+// The phases follow the Theorem 1 proof structure.
+const (
+	// PhaseGrowth: c1 < 2n/3 — Lemma 3's multiplicative bias growth.
+	PhaseGrowth Phase = iota
+	// PhaseDecay: 2n/3 <= c1 < n - polylog — Lemma 4's geometric decay of
+	// the minority mass.
+	PhaseDecay
+	// PhaseExtinction: c1 >= n - polylog — Lemma 5's last step.
+	PhaseExtinction
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseGrowth:
+		return "growth"
+	case PhaseDecay:
+		return "decay"
+	case PhaseExtinction:
+		return "extinction"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// PhaseOf classifies a point given the population size and the extinction
+// threshold (pass <= 0 for the paper's log²n-flavored default of
+// n - minority < polylogCut, with polylogCut = max(100, n/1000)).
+func PhaseOf(p Point, n int64, polylogCut int64) Phase {
+	if polylogCut <= 0 {
+		polylogCut = n / 1000
+		if polylogCut < 100 {
+			polylogCut = 100
+		}
+	}
+	switch {
+	case p.MinorityMass <= polylogCut:
+		return PhaseExtinction
+	case p.CMax >= 2*n/3:
+		return PhaseDecay
+	default:
+		return PhaseGrowth
+	}
+}
+
+// Segment is a maximal run of consecutive rounds in the same phase.
+type Segment struct {
+	Phase      Phase
+	FromRound  int
+	ToRound    int // inclusive
+	FromCMax   int64
+	ToCMax     int64
+	GrowthRate float64 // mean per-round bias growth factor within the segment
+}
+
+// Rounds returns the segment length in rounds.
+func (s Segment) Rounds() int { return s.ToRound - s.FromRound + 1 }
+
+// Segments splits the trajectory into phase segments and estimates the
+// per-round bias growth factor within each.
+func (rec *Recorder) Segments() []Segment {
+	if len(rec.Points) == 0 {
+		return nil
+	}
+	var out []Segment
+	cur := Segment{
+		Phase:     PhaseOf(rec.Points[0], rec.N, 0),
+		FromRound: rec.Points[0].Round,
+		ToRound:   rec.Points[0].Round,
+		FromCMax:  rec.Points[0].CMax,
+		ToCMax:    rec.Points[0].CMax,
+	}
+	growthSum, growthCnt := 0.0, 0
+	flush := func() {
+		if growthCnt > 0 {
+			cur.GrowthRate = growthSum / float64(growthCnt)
+		}
+		out = append(out, cur)
+	}
+	for i := 1; i < len(rec.Points); i++ {
+		p := rec.Points[i]
+		ph := PhaseOf(p, rec.N, 0)
+		if ph != cur.Phase {
+			flush()
+			cur = Segment{Phase: ph, FromRound: p.Round, FromCMax: p.CMax}
+			growthSum, growthCnt = 0, 0
+		}
+		prev := rec.Points[i-1]
+		if prev.Bias > 0 {
+			growthSum += float64(p.Bias) / float64(prev.Bias)
+			growthCnt++
+		}
+		cur.ToRound = p.Round
+		cur.ToCMax = p.CMax
+	}
+	flush()
+	return out
+}
+
+// Summary renders a one-line-per-segment description.
+func (rec *Recorder) Summary() string {
+	out := ""
+	for _, s := range rec.Segments() {
+		out += fmt.Sprintf("%-10s rounds %d..%d (%d)  c_max %d → %d  bias growth ×%.3f/round\n",
+			s.Phase, s.FromRound, s.ToRound, s.Rounds(), s.FromCMax, s.ToCMax, s.GrowthRate)
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/core"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/rng"
+)
+
+func recordRun(t *testing.T, n int64, k int, s int64, seed uint64) *Recorder {
+	t.Helper()
+	init := colorcfg.Biased(n, k, s)
+	rec := NewRecorder(n)
+	rec.ObserveInitial(init)
+	e := engine.NewCliqueMultinomial(dynamics.ThreeMajority{}, init)
+	res := core.Run(e, core.Options{
+		MaxRounds: 10000,
+		Rand:      rng.New(seed),
+		OnRound:   rec.Observe,
+	})
+	if !res.WonInitialPlurality {
+		t.Fatalf("trace run did not converge to plurality")
+	}
+	return rec
+}
+
+func TestRecorderCapturesTrajectory(t *testing.T) {
+	rec := recordRun(t, 100000, 8, 7000, 1)
+	if rec.Len() < 5 {
+		t.Fatalf("too few points: %d", rec.Len())
+	}
+	first := rec.Points[0]
+	if first.Round != 0 || first.CMax == 0 {
+		t.Fatalf("bad initial point: %+v", first)
+	}
+	last := rec.Points[rec.Len()-1]
+	if last.CMax != 100000 || last.MinorityMass != 0 {
+		t.Fatalf("final point not monochromatic: %+v", last)
+	}
+	// Rounds strictly increasing.
+	for i := 1; i < rec.Len(); i++ {
+		if rec.Points[i].Round != rec.Points[i-1].Round+1 {
+			t.Fatalf("round gap at %d", i)
+		}
+	}
+}
+
+func TestPhaseOf(t *testing.T) {
+	n := int64(10000)
+	cases := []struct {
+		p    Point
+		want Phase
+	}{
+		{Point{CMax: 3000, MinorityMass: 7000}, PhaseGrowth},
+		{Point{CMax: 7000, MinorityMass: 3000}, PhaseDecay},
+		{Point{CMax: 9950, MinorityMass: 50}, PhaseExtinction},
+	}
+	for _, c := range cases {
+		if got := PhaseOf(c.p, n, 0); got != c.want {
+			t.Errorf("PhaseOf(%+v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Explicit cut.
+	if PhaseOf(Point{CMax: 9400, MinorityMass: 600}, n, 700) != PhaseExtinction {
+		t.Error("explicit polylog cut ignored")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseGrowth.String() != "growth" || PhaseDecay.String() != "decay" ||
+		PhaseExtinction.String() != "extinction" {
+		t.Error("phase names wrong")
+	}
+	if Phase(42).String() == "" {
+		t.Error("unknown phase renders empty")
+	}
+}
+
+func TestSegmentsOrdered(t *testing.T) {
+	rec := recordRun(t, 100000, 8, 7000, 2)
+	segs := rec.Segments()
+	if len(segs) == 0 {
+		t.Fatal("no segments")
+	}
+	// Phases must appear in proof order: growth (maybe) then decay (maybe)
+	// then extinction; no going back.
+	lastPhase := Phase(-1)
+	for _, s := range segs {
+		if s.Phase < lastPhase {
+			t.Fatalf("phase regression: %v after %v", s.Phase, lastPhase)
+		}
+		lastPhase = s.Phase
+		if s.Rounds() <= 0 {
+			t.Fatalf("empty segment %+v", s)
+		}
+	}
+	// The growth phase must actually grow the bias.
+	if segs[0].Phase == PhaseGrowth && segs[0].Rounds() > 2 && segs[0].GrowthRate <= 1 {
+		t.Errorf("growth segment rate %v <= 1", segs[0].GrowthRate)
+	}
+	// Segment round ranges must tile the trajectory.
+	if segs[0].FromRound != 0 {
+		t.Errorf("first segment starts at %d", segs[0].FromRound)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].FromRound != segs[i-1].ToRound+1 {
+			t.Errorf("segment gap between %d and %d", segs[i-1].ToRound, segs[i].FromRound)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rec := recordRun(t, 50000, 4, 5000, 3)
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != rec.Len()+1 {
+		t.Fatalf("CSV has %d lines for %d points", len(lines), rec.Len())
+	}
+	if !strings.HasPrefix(lines[0], "round,c_max,") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,") {
+		t.Fatalf("bad first row: %q", lines[1])
+	}
+}
+
+func TestSummaryNonEmpty(t *testing.T) {
+	rec := recordRun(t, 50000, 4, 5000, 4)
+	s := rec.Summary()
+	if !strings.Contains(s, "extinction") {
+		t.Fatalf("summary missing extinction phase:\n%s", s)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	rec := NewRecorder(100)
+	if rec.Segments() != nil {
+		t.Error("empty recorder must have no segments")
+	}
+	if rec.Summary() != "" {
+		t.Error("empty recorder summary must be empty")
+	}
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "round,") {
+		t.Error("CSV header missing for empty recorder")
+	}
+}
