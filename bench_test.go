@@ -61,16 +61,41 @@ func BenchmarkE19Faults(b *testing.B)       { benchExperiment(b, "E19") }
 // ----- engine micro-benchmarks (ablations of DESIGN.md §5) -----
 
 // BenchmarkEngineMultinomialRound measures the exact O(k) engine: one
-// round at n = 10^6 for growing k.
+// transient round at n = 10^6 for growing k. The configuration is restored
+// before every Step — without the reset the chain absorbs within ~30
+// rounds and the remaining iterations would measure the degenerate
+// monochromatic round (one p=1 binomial) instead of k live binomial draws.
 func BenchmarkEngineMultinomialRound(b *testing.B) {
 	for _, k := range []int{2, 16, 128, 1024} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			r := rng.New(1)
-			e := engine.NewCliqueMultinomial(dynamics.ThreeMajority{},
-				colorcfg.Biased(1_000_000, k, 10_000))
+			init := colorcfg.Biased(1_000_000, k, 10_000)
+			e := engine.NewCliqueMultinomial(dynamics.ThreeMajority{}, init)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				e.SetConfig(init)
+				e.Step(r)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineMultinomialRoundN fixes k and scales n across three
+// orders of magnitude: the conditional-binomial multinomial sampler makes a
+// round O(k) with n entering only through O(1) rejection sampling, so
+// per-round time must be flat in n (the acceptance gate of DESIGN.md §5
+// asks for 10^6 vs 10^9 within 2x).
+func BenchmarkEngineMultinomialRoundN(b *testing.B) {
+	for _, n := range []int64{1_000_000, 100_000_000, 1_000_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := rng.New(1)
+			init := colorcfg.Biased(n, 16, n/100)
+			e := engine.NewCliqueMultinomial(dynamics.ThreeMajority{}, init)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.SetConfig(init) // keep every measured round transient
 				e.Step(r)
 			}
 		})
@@ -85,6 +110,7 @@ func BenchmarkEngineSampledRound(b *testing.B) {
 			r := rng.New(1)
 			e := engine.NewCliqueSampled(dynamics.ThreeMajority{},
 				colorcfg.Biased(100_000, 16, 1_000), workers, 7)
+			defer e.Close()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -107,6 +133,7 @@ func BenchmarkEngineGraphRound(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			e := engine.NewGraphEngine(dynamics.ThreeMajority{}, g,
 				colorcfg.Biased(n, 8, 1_000), 4, 11, layout)
+			defer e.Close()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

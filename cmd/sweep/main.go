@@ -76,6 +76,7 @@ func sweep(rulesCSV, nsCSV, ksCSV, csCSV string, reps int, seed uint64, maxRound
 							e = engine.NewCliqueSampled(rule, init, 4, base.Uint64())
 						}
 						res := core.Run(e, core.Options{MaxRounds: maxRounds, Rand: base.NewStream()})
+						e.Close()
 						rounds = append(rounds, float64(res.Rounds))
 						if res.WonInitialPlurality {
 							wins++

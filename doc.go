@@ -12,6 +12,12 @@
 // for the system inventory and EXPERIMENTS.md for paper-vs-measured
 // outcomes.
 //
+// All engine randomness flows through the sampling kernel layer
+// internal/dist (exact O(1) binomial, O(k) conditional-binomial
+// multinomial, Vose alias tables), which is what makes the exact clique
+// engine's round cost independent of n up to 10^9 agents and every
+// engine's steady-state Step allocation-free — see DESIGN.md §5.
+//
 // Start with examples/quickstart, or:
 //
 //	go run ./cmd/plurality -n 1000000 -k 16 -bias auto

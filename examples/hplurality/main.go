@@ -40,6 +40,7 @@ func main() {
 				e.Step(r)
 				rounds++
 			}
+			e.Close()
 			total += float64(rounds)
 		}
 		mean := total / reps

@@ -51,6 +51,7 @@ func main() {
 			e := engine.NewGraphEngine(dynamics.ThreeMajority{}, g,
 				colorcfg.Biased(n, k, bias), 4, uint64(rep)<<8, layout)
 			res := core.Run(e, core.Options{MaxRounds: limit, Rand: r})
+			e.Close()
 			if res.Stopped {
 				conv++
 			}

@@ -1,0 +1,3 @@
+module plurality
+
+go 1.24

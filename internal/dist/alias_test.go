@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"testing"
+
+	"plurality/internal/rng"
+)
+
+func TestAliasMatchesCounts(t *testing.T) {
+	counts := []int64{1, 0, 3, 6, 0, 10, 100}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	a := NewAliasCounts(counts)
+	r := rng.New(42)
+	const draws = 1_000_000
+	obs := make([]float64, len(counts))
+	for i := 0; i < draws; i++ {
+		j := a.Sample(r)
+		if j < 0 || j >= len(counts) {
+			t.Fatalf("sample %d out of range", j)
+		}
+		obs[j]++
+	}
+	exp := make([]float64, len(counts))
+	for j, c := range counts {
+		exp[j] = float64(c) / float64(total) * draws
+	}
+	for j, c := range counts {
+		if c == 0 && obs[j] != 0 {
+			t.Errorf("zero-count category %d sampled %v times", j, obs[j])
+		}
+	}
+	stat, df := chiSquareStat(t, obs, exp)
+	if crit := chiSquareCritical(df, z999); stat > crit {
+		t.Errorf("alias χ² = %.1f > crit %.1f (df=%d)", stat, crit, df)
+	}
+}
+
+// TestAliasSampleManyMatchesSample: the batched sampler must consume the
+// rng stream identically to repeated single draws.
+func TestAliasSampleManyMatchesSample(t *testing.T) {
+	counts := []int64{5, 1, 9, 4, 11, 3}
+	a := NewAliasCounts(counts)
+	r1, r2 := rng.New(9), rng.New(9)
+	batch := make([]int32, 1000)
+	a.SampleMany(r1, batch)
+	for i, got := range batch {
+		if want := int32(a.Sample(r2)); got != want {
+			t.Fatalf("draw %d: SampleMany %d != Sample %d", i, got, want)
+		}
+	}
+}
+
+func TestAliasResetCounts(t *testing.T) {
+	a := NewAliasCounts([]int64{1, 1, 1, 1})
+	// Concentrate all mass on category 2 and verify the rebuild took.
+	a.ResetCounts([]int64{0, 0, 7, 0})
+	r := rng.New(4)
+	for i := 0; i < 10_000; i++ {
+		if j := a.Sample(r); j != 2 {
+			t.Fatalf("after reset, sampled %d, want 2", j)
+		}
+	}
+	// Rebuild and rebuild again: chi-square after several cycles.
+	counts := []int64{10, 30, 20, 40}
+	for cycle := 0; cycle < 3; cycle++ {
+		a.ResetCounts([]int64{1, 1, 1, 1})
+		a.ResetCounts(counts)
+	}
+	const draws = 500_000
+	obs := make([]float64, 4)
+	for i := 0; i < draws; i++ {
+		obs[a.Sample(r)]++
+	}
+	exp := []float64{0.1 * draws, 0.3 * draws, 0.2 * draws, 0.4 * draws}
+	stat, df := chiSquareStat(t, obs, exp)
+	if crit := chiSquareCritical(df, z999); stat > crit {
+		t.Errorf("post-reset χ² = %.1f > crit %.1f (df=%d)", stat, crit, df)
+	}
+}
+
+// TestAliasResetAllocs: rebuilds and draws must be allocation-free — the
+// sampled engine rebuilds the table every round.
+func TestAliasResetAllocs(t *testing.T) {
+	counts := make([]int64, 128)
+	for j := range counts {
+		counts[j] = int64(j + 1)
+	}
+	a := NewAliasCounts(counts)
+	r := rng.New(8)
+	buf := make([]int32, 256)
+	if n := testing.AllocsPerRun(100, func() {
+		a.ResetCounts(counts)
+		a.Sample(r)
+		a.SampleMany(r, buf)
+	}); n != 0 {
+		t.Errorf("Reset+Sample allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a := NewAliasCounts([]int64{5})
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if j := a.Sample(r); j != 0 {
+			t.Fatalf("k=1 sampled %d", j)
+		}
+	}
+}
+
+func TestAliasWeights(t *testing.T) {
+	a := NewAliasCounts([]int64{1, 1})
+	a.ResetWeights([]float64{0.75, 0.25})
+	r := rng.New(77)
+	const draws = 400_000
+	var zero float64
+	for i := 0; i < draws; i++ {
+		if a.Sample(r) == 0 {
+			zero++
+		}
+	}
+	got := zero / draws
+	if got < 0.745 || got > 0.755 {
+		t.Errorf("weight 0.75 sampled at rate %.4f", got)
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero-total":     func() { NewAliasCounts([]int64{0, 0}) },
+		"negative-count": func() { NewAliasCounts([]int64{3, -1}) },
+		"reset-mismatch": func() { NewAliasCounts([]int64{1, 1}).ResetCounts([]int64{1, 1, 1}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	counts := make([]int64, 64)
+	for j := range counts {
+		counts[j] = int64(j + 1)
+	}
+	a := NewAliasCounts(counts)
+	r := rng.New(1)
+	b.ReportAllocs()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += a.Sample(r)
+	}
+	_ = sink
+}
+
+func BenchmarkAliasSampleMany(b *testing.B) {
+	counts := make([]int64, 64)
+	for j := range counts {
+		counts[j] = int64(j + 1)
+	}
+	a := NewAliasCounts(counts)
+	r := rng.New(1)
+	buf := make([]int32, 1024)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		a.SampleMany(r, buf)
+	}
+}
+
+func BenchmarkAliasResetCounts(b *testing.B) {
+	counts := make([]int64, 1024)
+	for j := range counts {
+		counts[j] = int64(j%37 + 1)
+	}
+	a := NewAliasCounts(counts)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.ResetCounts(counts)
+	}
+}

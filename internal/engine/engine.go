@@ -57,6 +57,12 @@ type Engine interface {
 	// `from` to color `to`, returning how many were changed. This is the
 	// corruption primitive of the F-bounded adversary.
 	Repaint(from, to Color, m int64) int64
+	// Close releases engine resources (persistent worker goroutines in the
+	// multi-worker engines; a no-op elsewhere). The engine must not be
+	// stepped afterwards. Calling Close is optional — an unreachable
+	// engine's workers are reaped by a GC cleanup — but loops that build
+	// many engines should Close each one promptly.
+	Close()
 }
 
 // ----- CliqueMultinomial -----
@@ -125,6 +131,20 @@ func (e *CliqueMultinomial) Repaint(from, to Color, m int64) int64 {
 	return repaintCounts(e.cfg, from, to, m)
 }
 
+// SetConfig replaces the current configuration (counts are copied). n and k
+// must match the engine's. The round counter is unchanged; sweeps and
+// benchmarks use this to re-run transient rounds without rebuilding the
+// engine.
+func (e *CliqueMultinomial) SetConfig(c colorcfg.Config) {
+	if c.K() != e.cfg.K() || c.N() != e.n {
+		panic("engine: SetConfig dimension mismatch")
+	}
+	copy(e.cfg, c)
+}
+
+// Close implements Engine (no worker goroutines; no-op).
+func (e *CliqueMultinomial) Close() {}
+
 // repaintCounts moves up to m agents between colors at count level.
 func repaintCounts(c colorcfg.Config, from, to Color, m int64) int64 {
 	if m <= 0 || from == to {
@@ -153,7 +173,10 @@ func min64(a, b int64) int64 {
 // (alias table) and applies the rule. Agents are anonymous on the clique,
 // so only counts are stored. Work is sharded across Workers goroutines,
 // each with its own rng stream derived deterministically from the seed
-// passed to NewCliqueSampled.
+// passed to NewCliqueSampled. The goroutines are persistent (see
+// workerPool), so a steady-state Step performs zero allocations; call Close
+// when discarding a multi-worker engine early, or let the garbage collector
+// reap the workers via the attached cleanup.
 type CliqueSampled struct {
 	rule    dynamics.Rule
 	cfg     colorcfg.Config
@@ -161,14 +184,15 @@ type CliqueSampled struct {
 	round   int
 	alias   *dist.Alias
 	workers []*sampledWorker
+	pool    *workerPool
 }
 
 type sampledWorker struct {
 	r     *rng.Rand
 	from  int64 // agent range [from, to)
 	to    int64
-	tally []int64
-	buf   []Color
+	tally []int64 // cache-line padded; see paddedTallies
+	buf   []Color // batch sample buffer, a multiple of SampleSize() long
 }
 
 // NewCliqueSampled builds the sampled engine. workers <= 1 runs
@@ -179,6 +203,10 @@ func NewCliqueSampled(rule dynamics.Rule, initial colorcfg.Config, workers int, 
 	n := initial.N()
 	if n <= 0 {
 		panic("engine: empty initial configuration")
+	}
+	h := rule.SampleSize()
+	if h < 1 {
+		panic("engine: rule sample size must be >= 1")
 	}
 	if workers < 1 {
 		workers = 1
@@ -193,22 +221,35 @@ func NewCliqueSampled(rule dynamics.Rule, initial colorcfg.Config, workers int, 
 		alias: dist.NewAliasCounts(initial),
 	}
 	streams := rng.Streams(seed, workers)
-	chunk := n / int64(workers)
+	tallies := paddedTallies(workers, initial.K())
 	for w := 0; w < workers; w++ {
-		from := int64(w) * chunk
-		to := from + chunk
-		if w == workers-1 {
-			to = n
-		}
+		from, to := shardRange(n, workers, w)
 		e.workers = append(e.workers, &sampledWorker{
 			r:     streams[w],
 			from:  from,
 			to:    to,
-			tally: make([]int64, initial.K()),
-			buf:   make([]Color, rule.SampleSize()),
+			tally: tallies[w],
+			buf:   make([]Color, batchBufLen(h, to-from)),
 		})
 	}
+	if workers > 1 {
+		fns := make([]func(), workers)
+		rule, alias := e.rule, e.alias
+		for i, w := range e.workers {
+			fns[i] = func() { w.run(rule, alias) }
+		}
+		e.pool = attachPool(e, fns)
+	}
 	return e
+}
+
+// Close stops the worker goroutines of a multi-worker engine. The engine
+// must not be stepped afterwards. Optional: an unreachable engine's workers
+// are stopped by a GC cleanup.
+func (e *CliqueSampled) Close() {
+	if e.pool != nil {
+		e.pool.shutdown()
+	}
 }
 
 // Name implements Engine.
@@ -229,28 +270,16 @@ func (e *CliqueSampled) Round() int { return e.round }
 func (e *CliqueSampled) Config() colorcfg.Config { return e.cfg.Clone() }
 
 // Step implements Engine: every agent draws h colors from c/n and applies
-// the rule; the new counts are the sum of per-worker tallies.
+// the rule; the new counts are the sum of per-worker tallies. Steady-state
+// cost is O(n·h) alias draws and zero allocations.
 func (e *CliqueSampled) Step(_ *rng.Rand) {
 	e.alias.ResetCounts(e.cfg)
-	if len(e.workers) == 1 {
-		w := e.workers[0]
-		w.run(e.rule, e.alias)
+	if e.pool == nil {
+		e.workers[0].run(e.rule, e.alias)
 	} else {
-		done := make(chan struct{}, len(e.workers))
-		for _, w := range e.workers {
-			w := w
-			go func() {
-				w.run(e.rule, e.alias)
-				done <- struct{}{}
-			}()
-		}
-		for range e.workers {
-			<-done
-		}
+		e.pool.step()
 	}
-	for j := range e.cfg {
-		e.cfg[j] = 0
-	}
+	clear(e.cfg)
 	for _, w := range e.workers {
 		for j, v := range w.tally {
 			e.cfg[j] += v
@@ -259,16 +288,21 @@ func (e *CliqueSampled) Step(_ *rng.Rand) {
 	e.round++
 }
 
+// run processes the worker's agent shard. Samples are drawn in batches with
+// SampleMany — one tight loop over the alias table — and then consumed h at
+// a time by the rule, which amortizes per-draw call overhead.
 func (w *sampledWorker) run(rule dynamics.Rule, alias *dist.Alias) {
-	for j := range w.tally {
-		w.tally[j] = 0
-	}
-	h := len(w.buf)
-	for i := w.from; i < w.to; i++ {
-		for s := 0; s < h; s++ {
-			w.buf[s] = Color(alias.Sample(w.r))
+	clear(w.tally)
+	h := rule.SampleSize()
+	perBatch := int64(len(w.buf) / h)
+	for v := w.from; v < w.to; {
+		m := min(perBatch, w.to-v)
+		batch := w.buf[:int(m)*h]
+		alias.SampleMany(w.r, batch)
+		for i := 0; i < int(m); i++ {
+			w.tally[rule.Apply(batch[i*h:(i+1)*h], w.r)]++
 		}
-		w.tally[rule.Apply(w.buf, w.r)]++
+		v += m
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"plurality/internal/colorcfg"
+	"plurality/internal/dist"
 	"plurality/internal/dynamics"
 	"plurality/internal/graph"
 	"plurality/internal/rng"
@@ -17,25 +18,44 @@ import (
 // cross-validate the configuration-level clique engines.
 //
 // Vertices are sharded across worker goroutines with independent rng
-// streams, so a run is deterministic for a fixed (seed, workers) pair.
+// streams, so a run is deterministic for a fixed (seed, workers) pair. The
+// goroutines are persistent (workerPool), so a steady-state Step performs
+// zero allocations; Close stops them explicitly, and a GC cleanup reaps
+// them when the engine is abandoned.
+//
+// On the paper's clique (Complete with IncludeSelf) a uniformly sampled
+// neighbor's color is exactly an i.i.d. draw from the color distribution
+// c/n, so the engine takes a fast path: workers draw sample batches from an
+// alias table over the configuration (dist.Alias.SampleMany) instead of
+// chasing random vertex indices through the n-sized color array. The
+// processes are identical in distribution; the fast path just trades n
+// random memory reads per round for k-sized table lookups.
 type GraphEngine struct {
-	rule    dynamics.Rule
-	g       graph.Graph
-	colors  []Color
-	next    []Color
-	cfg     colorcfg.Config
-	round   int
+	rule  dynamics.Rule
+	g     graph.Graph
+	bufs  *graphBuffers
+	cfg   colorcfg.Config
+	round int
+	// alias is non-nil only on the complete+self fast path.
+	alias   *dist.Alias
 	workers []*graphWorker
-	// WithoutSelfResample, when the topology itself excludes self-loops,
-	// is implicit in the graph; nothing to configure here.
+	pool    *workerPool
+}
+
+// graphBuffers holds the double-buffered vertex color arrays. They live in
+// a separate allocation so pool goroutines can reference them (the buffers
+// swap every round) without pinning the engine itself.
+type graphBuffers struct {
+	colors []Color
+	next   []Color
 }
 
 type graphWorker struct {
 	r     *rng.Rand
 	from  int64
 	to    int64
-	tally []int64
-	buf   []Color
+	tally []int64 // cache-line padded; see paddedTallies
+	buf   []Color // h scratch colors; a batch multiple on the clique path
 }
 
 // NewGraphEngine builds the engine. The initial configuration is laid out
@@ -47,6 +67,10 @@ func NewGraphEngine(rule dynamics.Rule, g graph.Graph, initial colorcfg.Config, 
 	if initial.N() != n {
 		panic(fmt.Sprintf("engine: configuration has %d agents but graph has %d vertices", initial.N(), n))
 	}
+	h := rule.SampleSize()
+	if h < 1 {
+		panic("engine: rule sample size must be >= 1")
+	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -54,34 +78,56 @@ func NewGraphEngine(rule dynamics.Rule, g graph.Graph, initial colorcfg.Config, 
 		workers = int(n)
 	}
 	e := &GraphEngine{
-		rule:   rule,
-		g:      g,
-		colors: initial.ToAgents(nil),
-		next:   make([]Color, n),
-		cfg:    initial.Clone(),
+		rule: rule,
+		g:    g,
+		bufs: &graphBuffers{
+			colors: initial.ToAgents(nil),
+			next:   make([]Color, n),
+		},
+		cfg: initial.Clone(),
 	}
 	if layoutRng != nil {
-		layoutRng.Shuffle(len(e.colors), func(i, j int) {
-			e.colors[i], e.colors[j] = e.colors[j], e.colors[i]
+		layoutRng.Shuffle(len(e.bufs.colors), func(i, j int) {
+			e.bufs.colors[i], e.bufs.colors[j] = e.bufs.colors[j], e.bufs.colors[i]
 		})
 	}
+	if c, ok := g.(graph.Complete); ok && c.IncludeSelf {
+		e.alias = dist.NewAliasCounts(initial)
+	}
 	streams := rng.Streams(seed, workers)
-	chunk := n / int64(workers)
+	tallies := paddedTallies(workers, initial.K())
 	for w := 0; w < workers; w++ {
-		from := int64(w) * chunk
-		to := from + chunk
-		if w == workers-1 {
-			to = n
+		from, to := shardRange(n, workers, w)
+		bufLen := h
+		if e.alias != nil {
+			bufLen = batchBufLen(h, to-from)
 		}
 		e.workers = append(e.workers, &graphWorker{
 			r:     streams[w],
 			from:  from,
 			to:    to,
-			tally: make([]int64, initial.K()),
-			buf:   make([]Color, rule.SampleSize()),
+			tally: tallies[w],
+			buf:   make([]Color, bufLen),
 		})
 	}
+	if workers > 1 {
+		fns := make([]func(), workers)
+		g, rule, alias, bufs := e.g, e.rule, e.alias, e.bufs
+		for i, w := range e.workers {
+			fns[i] = func() { w.run(g, rule, alias, bufs) }
+		}
+		e.pool = attachPool(e, fns)
+	}
 	return e
+}
+
+// Close stops the worker goroutines of a multi-worker engine. The engine
+// must not be stepped afterwards. Optional: an unreachable engine's workers
+// are stopped by a GC cleanup.
+func (e *GraphEngine) Close() {
+	if e.pool != nil {
+		e.pool.shutdown()
+	}
 }
 
 // Name implements Engine.
@@ -103,29 +149,20 @@ func (e *GraphEngine) Config() colorcfg.Config { return e.cfg.Clone() }
 
 // Colors returns the live per-vertex color slice (read-only view for
 // inspection; mutate only through Repaint).
-func (e *GraphEngine) Colors() []Color { return e.colors }
+func (e *GraphEngine) Colors() []Color { return e.bufs.colors }
 
 // Step implements Engine.
 func (e *GraphEngine) Step(_ *rng.Rand) {
-	if len(e.workers) == 1 {
-		e.workers[0].run(e)
+	if e.alias != nil {
+		e.alias.ResetCounts(e.cfg)
+	}
+	if e.pool == nil {
+		e.workers[0].run(e.g, e.rule, e.alias, e.bufs)
 	} else {
-		done := make(chan struct{}, len(e.workers))
-		for _, w := range e.workers {
-			w := w
-			go func() {
-				w.run(e)
-				done <- struct{}{}
-			}()
-		}
-		for range e.workers {
-			<-done
-		}
+		e.pool.step()
 	}
-	e.colors, e.next = e.next, e.colors
-	for j := range e.cfg {
-		e.cfg[j] = 0
-	}
+	e.bufs.colors, e.bufs.next = e.bufs.next, e.bufs.colors
+	clear(e.cfg)
 	for _, w := range e.workers {
 		for j, v := range w.tally {
 			e.cfg[j] += v
@@ -134,17 +171,34 @@ func (e *GraphEngine) Step(_ *rng.Rand) {
 	e.round++
 }
 
-func (w *graphWorker) run(e *GraphEngine) {
-	for j := range w.tally {
-		w.tally[j] = 0
+// run processes the worker's vertex shard into bufs.next.
+func (w *graphWorker) run(g graph.Graph, rule dynamics.Rule, alias *dist.Alias, bufs *graphBuffers) {
+	clear(w.tally)
+	next := bufs.next
+	h := rule.SampleSize()
+	if alias != nil {
+		// Clique fast path: batched i.i.d. color draws from the alias table.
+		perBatch := int64(len(w.buf) / h)
+		for v := w.from; v < w.to; {
+			m := min(perBatch, w.to-v)
+			batch := w.buf[:int(m)*h]
+			alias.SampleMany(w.r, batch)
+			for i := int64(0); i < m; i++ {
+				c := rule.Apply(batch[int(i)*h:int(i+1)*h], w.r)
+				next[v+i] = c
+				w.tally[c]++
+			}
+			v += m
+		}
+		return
 	}
-	h := len(w.buf)
+	colors := bufs.colors
 	for v := w.from; v < w.to; v++ {
 		for s := 0; s < h; s++ {
-			w.buf[s] = e.colors[e.g.SampleNeighbor(v, w.r)]
+			w.buf[s] = colors[g.SampleNeighbor(v, w.r)]
 		}
-		c := e.rule.Apply(w.buf, w.r)
-		e.next[v] = c
+		c := rule.Apply(w.buf[:h], w.r)
+		next[v] = c
 		w.tally[c]++
 	}
 }
@@ -158,13 +212,14 @@ func (e *GraphEngine) Repaint(from, to Color, m int64) int64 {
 	if int(from) >= e.K() || int(to) >= e.K() || from < 0 || to < 0 {
 		panic("engine: Repaint color out of range")
 	}
+	colors := e.bufs.colors
 	var moved int64
-	for i := range e.colors {
+	for i := range colors {
 		if moved == m {
 			break
 		}
-		if e.colors[i] == from {
-			e.colors[i] = to
+		if colors[i] == from {
+			colors[i] = to
 			moved++
 		}
 	}

@@ -72,9 +72,7 @@ func (e *CliqueMarkov) Config() colorcfg.Config { return e.cfg.Clone() }
 
 // Step implements Engine.
 func (e *CliqueMarkov) Step(r *rng.Rand) {
-	for j := range e.next {
-		e.next[j] = 0
-	}
+	clear(e.next)
 	for j, cj := range e.cfg {
 		if cj == 0 {
 			continue
@@ -93,3 +91,6 @@ func (e *CliqueMarkov) Step(r *rng.Rand) {
 func (e *CliqueMarkov) Repaint(from, to Color, m int64) int64 {
 	return repaintCounts(e.cfg, from, to, m)
 }
+
+// Close implements Engine (no worker goroutines; no-op).
+func (e *CliqueMarkov) Close() {}

@@ -94,6 +94,9 @@ func (e *Population) sampleColor(r *rng.Rand) Color {
 	panic("engine: color sampling overran configuration (count invariant broken)")
 }
 
+// Close implements Engine (no worker goroutines; no-op).
+func (e *Population) Close() {}
+
 // Repaint implements Engine.
 func (e *Population) Repaint(from, to Color, m int64) int64 {
 	return repaintCounts(e.cfg, from, to, m)

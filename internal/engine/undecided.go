@@ -91,9 +91,7 @@ func (e *UndecidedExact) Step(r *rng.Rand) {
 	if q > 0 {
 		dist.Multinomial(r, q, e.recruitProbs, e.recruits)
 	} else {
-		for j := range e.recruits {
-			e.recruits[j] = 0
-		}
+		clear(e.recruits)
 	}
 
 	// Colored survivors: stay_j ~ Binomial(c_j, (c_j + q)/n), independent
@@ -120,6 +118,9 @@ func (e *UndecidedExact) Step(r *rng.Rand) {
 func (e *UndecidedExact) Repaint(from, to Color, m int64) int64 {
 	return repaintCounts(e.cfg, from, to, m)
 }
+
+// Close implements Engine (no worker goroutines; no-op).
+func (e *UndecidedExact) Close() {}
 
 // ----- agent-level population variant -----
 
@@ -194,6 +195,9 @@ func (e *UndecidedPopulation) MicroStep(r *rng.Rand) {
 		e.cfg[cu]--
 	}
 }
+
+// Close implements Engine (no worker goroutines; no-op).
+func (e *UndecidedPopulation) Close() {}
 
 // Repaint implements Engine.
 func (e *UndecidedPopulation) Repaint(from, to Color, m int64) int64 {

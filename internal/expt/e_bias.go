@@ -195,6 +195,7 @@ func runE12(p Profile, seed uint64) []*Table {
 				} else {
 					e = engine.NewCliqueSampled(dynamics.ThreeMajority{}, shapeCfg, 1, seed^uint64(rep)^hashName(engName))
 				}
+				defer e.Close()
 				e.Step(r)
 				out := make([]float64, k)
 				for j, v := range e.Config() {

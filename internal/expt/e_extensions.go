@@ -133,6 +133,7 @@ func runE14(p Profile, seed uint64) []*Table {
 			g := b.mk(r)
 			e := engine.NewGraphEngine(dynamics.ThreeMajority{}, g,
 				colorcfg.Biased(n, k, bias), 2, seed^uint64(rep)<<8^hashName(b.name), r)
+			defer e.Close()
 			res := core.Run(e, core.Options{MaxRounds: limit, Rand: r})
 			first, _ := res.Final.TopTwo()
 			return out{rounds: float64(res.Rounds), conv: res.Stopped,
@@ -199,7 +200,9 @@ func runE15(p Profile, seed uint64) []*Table {
 			won    bool
 		}
 		results := ParallelReps(p, reps, seed+hashName(v.name), func(rep int, r *rng.Rand) out {
-			res := core.Run(v.mk(rep), core.Options{MaxRounds: 50_000, Rand: r})
+			e := v.mk(rep)
+			defer e.Close()
+			res := core.Run(e, core.Options{MaxRounds: 50_000, Rand: r})
 			return out{rounds: float64(res.Rounds), won: res.WonInitialPlurality}
 		})
 		rounds := make([]float64, len(results))

@@ -72,6 +72,7 @@ func runE4(p Profile, seed uint64) []*Table {
 			init[(weak+1)%3] = x
 			init[(weak+2)%3] = x - s
 			e := engine.NewCliqueSampled(rule, init, 1, seed^uint64(rep)*0x9e37+hashName(rule.Name()))
+			defer e.Close()
 			res := core.Run(e, core.Options{
 				MaxRounds: maxRounds,
 				Rand:      r,
@@ -131,6 +132,7 @@ func runE5(p Profile, seed uint64) []*Table {
 		results := ParallelReps(p, p.Reps, seed+uint64(h)*131, func(rep int, r *rng.Rand) float64 {
 			init := colorcfg.Balanced(n, k)
 			e := engine.NewCliqueSampled(dynamics.NewHPlurality(h), init, 1, seed^(uint64(h)<<32)^uint64(rep))
+			defer e.Close()
 			target := 2 * n / int64(k)
 			rounds := 0
 			for rounds < 100_000 {

@@ -25,7 +25,9 @@ func meanRounds(t *testing.T, reps int, mk func(rep int) engine.Engine, seed uin
 	wins := 0
 	base := rng.New(seed)
 	for rep := 0; rep < reps; rep++ {
-		res := core.Run(mk(rep), core.Options{MaxRounds: 100_000, Rand: base.NewStream()})
+		e := mk(rep)
+		res := core.Run(e, core.Options{MaxRounds: 100_000, Rand: base.NewStream()})
+		e.Close()
 		if !res.Stopped {
 			t.Fatalf("rep %d did not converge", rep)
 		}
