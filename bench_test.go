@@ -1,7 +1,8 @@
 // Benchmark harness: one testing.B benchmark per reproduced table/figure
-// (E1–E12, quick profile — run cmd/experiments -profile full for the
-// EXPERIMENTS.md numbers) plus engine micro-benchmarks for the ablations
-// called out in DESIGN.md §5.
+// (E1–E19, quick profile — run cmd/experiments -profile full for the
+// heavyweight numbers; the committed EXPERIMENTS.md is the quick profile)
+// plus engine micro-benchmarks for the ablations called out in
+// DESIGN.md §5.
 //
 //	go test -bench=. -benchmem
 //	go test -bench=BenchmarkE5 -benchtime=1x

@@ -1,17 +1,25 @@
-// Command experiments regenerates the paper-reproduction tables E1–E12
+// Command experiments regenerates the paper-reproduction tables E1–E19
 // (see DESIGN.md §4 for the experiment index). By default it runs every
 // experiment with the quick profile and prints aligned text tables;
-// -profile full produces the EXPERIMENTS.md numbers, and -format md/csv
-// switches the output format.
+// -profile full produces the heavyweight numbers, -format md/csv switches
+// the output format, and -doc emits the whole generated EXPERIMENTS.md
+// document (index, every table, per-experiment seeds and wall-clock).
+//
+// Replicates run on the internal/mc pool with pre-derived seeds, so any
+// table — and the -doc output up to its wall-clock lines — is
+// byte-reproducible from (-profile, -seed) regardless of -workers. That
+// is what lets CI regenerate EXPERIMENTS.md and fail on drift.
 //
 //	experiments                      # all experiments, quick profile
 //	experiments -id E5               # one experiment
 //	experiments -profile full -format md > results.md
+//	experiments -profile quick -doc > EXPERIMENTS.md
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -26,6 +34,7 @@ func main() {
 		seed    = flag.Uint64("seed", 2014, "base random seed (2014 = SPAA year of the paper)")
 		workers = flag.Int("workers", 0, "replicate parallelism (0 = GOMAXPROCS)")
 		list    = flag.Bool("list", false, "list the registered experiments and exit")
+		doc     = flag.Bool("doc", false, "emit the generated EXPERIMENTS.md document to stdout")
 	)
 	flag.Parse()
 
@@ -47,6 +56,17 @@ func main() {
 		os.Exit(1)
 	}
 	p.Workers = *workers
+
+	if *doc {
+		// The doc is the whole document — a partial or reformatted one
+		// would silently diverge from the committed EXPERIMENTS.md.
+		if *id != "all" || *format != "text" {
+			fmt.Fprintln(os.Stderr, "experiments: -doc emits the full markdown document; it cannot be combined with -id or -format")
+			os.Exit(1)
+		}
+		writeDoc(os.Stdout, p, *seed)
+		return
+	}
 
 	var toRun []expt.Experiment
 	if *id == "all" {
@@ -75,5 +95,38 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", e.ID, elapsed)
+	}
+}
+
+// writeDoc renders the full EXPERIMENTS.md document: provenance header,
+// experiment index, and every table in markdown with a wall-clock line.
+// Everything except the "_wall-clock:" lines is deterministic for a fixed
+// (profile, seed), which is what the CI staleness check relies on (it
+// normalizes those lines before diffing).
+func writeDoc(w io.Writer, p expt.Profile, seed uint64) {
+	fmt.Fprintf(w, "# EXPERIMENTS — generated paper-reproduction tables\n\n")
+	fmt.Fprintf(w, "**Generated file — do not edit by hand.** Regenerate with:\n\n")
+	fmt.Fprintf(w, "```\ngo run ./cmd/experiments -profile %s -seed %d -doc > EXPERIMENTS.md\n```\n\n", p.Name, seed)
+	fmt.Fprintf(w, "Profile `%s` (n=%d, %d replicates per sweep point), base seed %d.\n", p.Name, p.N, p.Reps, seed)
+	fmt.Fprintf(w, "Every table is reproducible from the seed and independent of `-workers`;\n")
+	fmt.Fprintf(w, "CI regenerates this file (normalizing the wall-clock lines) and fails on\n")
+	fmt.Fprintf(w, "drift. `-profile full` yields tighter numbers with the same layout; see\n")
+	fmt.Fprintf(w, "DESIGN.md §4 for what each experiment reproduces.\n\n")
+
+	all := expt.All()
+	fmt.Fprintf(w, "## Index\n\n| ID | Title |\n|---|---|\n")
+	for _, e := range all {
+		fmt.Fprintf(w, "| %s | %s |\n", e.ID, e.Title)
+	}
+	fmt.Fprintln(w)
+
+	for _, e := range all {
+		start := time.Now()
+		tables := e.Run(p, seed)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		for _, t := range tables {
+			fmt.Fprintln(w, t.Markdown())
+		}
+		fmt.Fprintf(w, "_wall-clock: %s (%s, profile %s, seed %d)_\n\n", elapsed, e.ID, p.Name, seed)
 	}
 }

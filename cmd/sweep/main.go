@@ -1,15 +1,31 @@
-// Command sweep runs a parameter grid of plurality-consensus processes and
-// emits one CSV row per (rule, n, k, bias-multiplier) cell with mean
-// rounds, success rate and a 95% Wilson interval — the raw material for
-// custom plots beyond the canned experiments of cmd/experiments.
+// Command sweep runs a parameter grid of plurality-consensus processes on
+// the replicate-parallel internal/mc runner and emits either one
+// aggregated CSV row per (rule, n, k, bias-multiplier) cell — mean rounds,
+// success rate, 95% Wilson interval — or one JSONL record per replicate,
+// the raw material for custom plots beyond the canned experiments of
+// cmd/experiments.
 //
 //	sweep -rules 3majority,median -ns 10000,100000 -ks 2,8,32 -cs 0.5,1,2 -reps 20
+//	sweep -workers 8 -format jsonl -out grid.jsonl        # stream replicates
+//	sweep -format jsonl -out grid.jsonl -resume           # finish an interrupted grid
+//
+// Replicate seeds are pre-derived per cell from (-seed, cell name), so a
+// grid is deterministic for a fixed -seed regardless of -workers, cells
+// are reproducible in isolation, and an interrupted -format jsonl grid
+// resumes from its own output file: records already on disk are not
+// re-simulated, and the completed file is byte-identical to an
+// uninterrupted run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -17,81 +33,264 @@ import (
 	"plurality/internal/core"
 	"plurality/internal/dynamics"
 	"plurality/internal/engine"
+	"plurality/internal/mc"
 	"plurality/internal/rng"
-	"plurality/internal/stats"
 )
 
+// csvHeader is the aggregated per-cell output schema.
+const csvHeader = "rule,n,k,bias_mult,bias,reps,rounds_mean,rounds_std,success_rate,wilson_lo,wilson_hi"
+
+// config collects the sweep flags.
+type config struct {
+	rules     string
+	ns        string
+	ks        string
+	cs        string
+	reps      int
+	seed      uint64
+	maxRounds int
+	workers   int
+	format    string
+	out       string
+	resume    bool
+}
+
 func main() {
-	var (
-		rules = flag.String("rules", "3majority", "comma-separated rules: 3majority | median | polling | 2choices | hplurality:H")
-		ns    = flag.String("ns", "100000", "comma-separated population sizes")
-		ks    = flag.String("ks", "2,8,32", "comma-separated color counts")
-		cs    = flag.String("cs", "1", "comma-separated bias multipliers applied to the Cor-1 threshold")
-		reps  = flag.Int("reps", 20, "replicates per cell")
-		seed  = flag.Uint64("seed", 1, "base seed")
-		cap   = flag.Int("max-rounds", 200_000, "round budget per run")
-	)
+	var cfg config
+	flag.StringVar(&cfg.rules, "rules", "3majority", "comma-separated rules: 3majority | median | polling | 2choices | hplurality:H")
+	flag.StringVar(&cfg.ns, "ns", "100000", "comma-separated population sizes")
+	flag.StringVar(&cfg.ks, "ks", "2,8,32", "comma-separated color counts")
+	flag.StringVar(&cfg.cs, "cs", "1", "comma-separated bias multipliers applied to the Cor-1 threshold")
+	flag.IntVar(&cfg.reps, "reps", 20, "replicates per cell")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "base seed")
+	flag.IntVar(&cfg.maxRounds, "max-rounds", 200_000, "round budget per run")
+	flag.IntVar(&cfg.workers, "workers", 0, "replicate parallelism (0 = GOMAXPROCS)")
+	flag.StringVar(&cfg.format, "format", "csv", "output format: csv (one aggregated row per cell) | jsonl (one record per replicate)")
+	flag.StringVar(&cfg.out, "out", "", "output file (default stdout; required for -resume)")
+	flag.BoolVar(&cfg.resume, "resume", false, "resume an interrupted -format jsonl -out grid, simulating only missing replicates")
 	flag.Parse()
 
-	if err := sweep(*rules, *ns, *ks, *cs, *reps, *seed, *cap); err != nil {
+	// Ctrl-C cancels cleanly: in-flight replicates drain, the JSONL file
+	// keeps a valid prefix, and -resume picks up from there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func sweep(rulesCSV, nsCSV, ksCSV, csCSV string, reps int, seed uint64, maxRounds int) error {
-	ruleNames := strings.Split(rulesCSV, ",")
-	nVals, err := parseInts(nsCSV)
+// run validates the config, wires the output file and resume index, and
+// hands off to sweep.
+func run(ctx context.Context, cfg config) error {
+	if cfg.format != "csv" && cfg.format != "jsonl" {
+		return fmt.Errorf("unknown -format %q (want csv or jsonl)", cfg.format)
+	}
+	var done map[string]map[int]mc.Record
+	if cfg.resume {
+		if cfg.format != "jsonl" || cfg.out == "" {
+			return errors.New("-resume requires -format jsonl and -out FILE")
+		}
+		var err error
+		done, err = mc.ReadResumeFile(cfg.out)
+		if err != nil {
+			return err
+		}
+	}
+	if cfg.out == "" {
+		return sweep(ctx, cfg, os.Stdout, done)
+	}
+	mode := os.O_CREATE | os.O_WRONLY
+	if cfg.resume {
+		mode |= os.O_APPEND
+	} else {
+		mode |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(cfg.out, mode, 0o644)
 	if err != nil {
 		return err
 	}
-	kVals, err := parseInts(ksCSV)
+	err = sweep(ctx, cfg, f, done)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// sweep drives the grid: one mc.Job per cell, replicates fanned out
+// across a persistent pool.
+func sweep(ctx context.Context, cfg config, w io.Writer, done map[string]map[int]mc.Record) error {
+	ruleNames := strings.Split(cfg.rules, ",")
+	nVals, err := parseInts(cfg.ns)
 	if err != nil {
 		return err
 	}
-	cVals, err := parseFloats(csCSV)
+	kVals, err := parseInts(cfg.ks)
+	if err != nil {
+		return err
+	}
+	cVals, err := parseFloats(cfg.cs)
 	if err != nil {
 		return err
 	}
 
-	fmt.Println("rule,n,k,bias_mult,bias,reps,rounds_mean,rounds_std,success_rate,wilson_lo,wilson_hi")
-	base := rng.New(seed)
+	rules := make([]dynamics.Rule, 0, len(ruleNames))
 	for _, ruleName := range ruleNames {
 		rule, err := parseRule(strings.TrimSpace(ruleName))
 		if err != nil {
 			return err
 		}
+		rules = append(rules, rule)
+	}
+	cells := make([]string, 0, len(rules)*len(nVals)*len(kVals)*len(cVals))
+	for _, rule := range rules {
 		for _, n := range nVals {
 			for _, k := range kVals {
 				for _, c := range cVals {
-					s := core.Corollary1Bias(n, int(k), c)
-					rounds := make([]float64, 0, reps)
-					wins := 0
-					for rep := 0; rep < reps; rep++ {
-						init := colorcfg.Biased(n, int(k), s)
-						var e engine.Engine
-						if _, ok := rule.(dynamics.ProbModel); ok {
-							e = engine.NewCliqueMultinomial(rule, init)
-						} else {
-							e = engine.NewCliqueSampled(rule, init, 4, base.Uint64())
-						}
-						res := core.Run(e, core.Options{MaxRounds: maxRounds, Rand: base.NewStream()})
-						e.Close()
-						rounds = append(rounds, float64(res.Rounds))
-						if res.WonInitialPlurality {
-							wins++
-						}
+					cells = append(cells, cellName(rule.Name(), n, int(k), c))
+				}
+			}
+		}
+	}
+	if err := checkResumeJobs(done, cells, cfg.reps); err != nil {
+		return err
+	}
+
+	pool := mc.NewPool(cfg.workers)
+	defer pool.Close()
+
+	if cfg.format == "csv" {
+		if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+			return err
+		}
+	}
+	for _, rule := range rules {
+		for _, n := range nVals {
+			for _, k := range kVals {
+				for _, c := range cVals {
+					if err := runCell(ctx, cfg, pool, w, done, rule, n, int(k), c); err != nil {
+						return err
 					}
-					sum := stats.Summarize(rounds)
-					lo, hi := stats.WilsonInterval(wins, reps, 1.96)
-					fmt.Printf("%s,%d,%d,%g,%d,%d,%.2f,%.2f,%.3f,%.3f,%.3f\n",
-						rule.Name(), n, k, c, s, reps, sum.Mean, sum.Std,
-						float64(wins)/float64(reps), lo, hi)
 				}
 			}
 		}
 	}
 	return nil
+}
+
+// checkResumeJobs rejects a resume file that is not a record prefix of
+// this grid run: jobs outside the grid, records past a cell boundary that
+// an uninterrupted run would not have reached yet, or non-contiguous
+// replicate indices. Appending to such a file would mix stale or
+// misordered records into the output, breaking the
+// byte-identical-to-uninterrupted guarantee.
+func checkResumeJobs(done map[string]map[int]mc.Record, cells []string, reps int) error {
+	if len(done) == 0 {
+		return nil
+	}
+	inGrid := map[string]bool{}
+	for _, cell := range cells {
+		inGrid[cell] = true
+	}
+	for job := range done {
+		if !inGrid[job] {
+			return fmt.Errorf("resume file contains job %q which is not in this grid (flags changed since the interrupted run?)", job)
+		}
+	}
+	// Records are written cell by cell in grid order and replicate by
+	// replicate within a cell, so a valid interrupted file is a complete
+	// run of leading cells, at most one partial cell with replicates
+	// 0..m-1, and nothing after it.
+	partialSeen := false
+	for _, cell := range cells {
+		byRep := done[cell]
+		if len(byRep) == 0 {
+			partialSeen = true
+			continue
+		}
+		if partialSeen {
+			return fmt.Errorf("resume file is not a prefix of this grid: cell %q has records after an incomplete cell (cell order changed since the interrupted run?)", cell)
+		}
+		if len(byRep) > reps {
+			return fmt.Errorf("resume file has %d replicates for cell %q, more than -reps %d", len(byRep), cell, reps)
+		}
+		for i := 0; i < len(byRep); i++ {
+			if _, ok := byRep[i]; !ok {
+				return fmt.Errorf("resume file records for cell %q are not a replicate prefix (rep %d missing)", cell, i)
+			}
+		}
+		if len(byRep) < reps {
+			partialSeen = true
+		}
+	}
+	return nil
+}
+
+// runCell executes one grid cell as an mc.Job and writes its output.
+func runCell(ctx context.Context, cfg config, pool *mc.Pool, w io.Writer,
+	done map[string]map[int]mc.Record, rule dynamics.Rule, n int64, k int, c float64) error {
+	s := core.Corollary1Bias(n, k, c)
+	name := cellName(rule.Name(), n, k, c)
+	_, isProb := rule.(dynamics.ProbModel)
+	job := mc.Job{
+		Name:       name,
+		Seed:       cellSeed(cfg.seed, name),
+		Replicates: cfg.reps,
+		MaxRounds:  cfg.maxRounds,
+	}
+	job.New = func(seed uint64) mc.Run {
+		maxRounds := job.MaxRounds // the Job carries the round budget
+		return func() mc.Record {
+			r := rng.New(seed)
+			init := colorcfg.Biased(n, k, s)
+			var e engine.Engine
+			if isProb {
+				e = engine.NewCliqueMultinomial(rule, init)
+			} else {
+				// Replicates already saturate the cores; keep the
+				// agent-level engine single-worker per replicate.
+				e = engine.NewCliqueSampled(rule, init, 1, r.Uint64())
+			}
+			defer e.Close()
+			res := core.Run(e, core.Options{MaxRounds: maxRounds, Rand: r})
+			return mc.Record{Rounds: res.Rounds, Success: res.WonInitialPlurality}
+		}
+	}
+	var sink func(mc.Record) error
+	if cfg.format == "jsonl" {
+		sink = func(rec mc.Record) error { return mc.AppendRecord(w, rec) }
+	}
+	recs, err := pool.Run(ctx, job, mc.RunOpts{Done: done[name], Sink: sink})
+	if err != nil {
+		return err
+	}
+	if cfg.format == "csv" {
+		agg := mc.Aggregate(recs)
+		sum := agg.Rounds()
+		lo, hi := agg.Wilson(1.96)
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%g,%d,%d,%.2f,%.2f,%.3f,%.3f,%.3f\n",
+			rule.Name(), n, k, c, s, agg.N, sum.Mean, sum.Std,
+			agg.SuccessRate(), lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cellName is the stable grid-cell identifier used in JSONL records and
+// resume files.
+func cellName(rule string, n int64, k int, c float64) string {
+	return fmt.Sprintf("%s/n=%d/k=%d/c=%g", rule, n, k, c)
+}
+
+// cellSeed derives the cell's job seed from the base seed and the cell
+// name, so a cell's replicates are reproducible regardless of the grid
+// shape it is embedded in.
+func cellSeed(base uint64, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rng.New(base ^ h.Sum64()).Uint64()
 }
 
 func parseRule(s string) (dynamics.Rule, error) {

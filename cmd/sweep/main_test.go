@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"plurality/internal/mc"
+)
+
+// testCfg is a grid small enough for unit tests that still exercises both
+// engine paths: 3majority (closed-form multinomial) and 2choices
+// (agent-level sampled).
+func testCfg() config {
+	return config{
+		rules:     "3majority,2choices",
+		ns:        "1000",
+		ks:        "2,4",
+		cs:        "1",
+		reps:      5,
+		seed:      7,
+		maxRounds: 5000,
+		workers:   2,
+		format:    "csv",
+	}
+}
+
+func runSweep(t *testing.T, cfg config, done map[string]map[int]mc.Record) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sweep(context.Background(), cfg, &buf, done); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	return buf.String()
+}
+
+func TestSweepCSVShape(t *testing.T) {
+	cfg := testCfg()
+	out := runSweep(t, cfg, nil)
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not parseable CSV: %v", err)
+	}
+	header := strings.Split(csvHeader, ",")
+	if len(rows) == 0 || strings.Join(rows[0], ",") != csvHeader {
+		t.Fatalf("header mismatch: %v", rows[0])
+	}
+	wantRows := 2 * 1 * 2 * 1 // rules × ns × ks × cs
+	if len(rows)-1 != wantRows {
+		t.Fatalf("got %d data rows, want %d", len(rows)-1, wantRows)
+	}
+	col := func(row []string, name string) float64 {
+		for i, h := range header {
+			if h == name {
+				v, err := strconv.ParseFloat(row[i], 64)
+				if err != nil {
+					t.Fatalf("column %s = %q is not numeric: %v", name, row[i], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no column %s", name)
+		return 0
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(header) {
+			t.Fatalf("row has %d cells, header has %d: %v", len(row), len(header), row)
+		}
+		lo, hi := col(row, "wilson_lo"), col(row, "wilson_hi")
+		rate := col(row, "success_rate")
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("Wilson interval [%g, %g] outside [0,1] or inverted: %v", lo, hi, row)
+		}
+		if rate < 0 || rate > 1 {
+			t.Errorf("success_rate %g outside [0,1]", rate)
+		}
+		if got := int(col(row, "reps")); got != testCfg().reps {
+			t.Errorf("reps column = %d, want %d", got, testCfg().reps)
+		}
+	}
+}
+
+func TestSweepDeterministicAcrossRunsAndWorkers(t *testing.T) {
+	cfg := testCfg()
+	first := runSweep(t, cfg, nil)
+	if runSweep(t, cfg, nil) != first {
+		t.Fatal("identical (seed, workers) reruns are not byte-identical")
+	}
+	cfg.workers = 1
+	if runSweep(t, cfg, nil) != first {
+		t.Fatal("output depends on -workers")
+	}
+	cfg.workers = 2
+	cfg.format = "jsonl"
+	j1 := runSweep(t, cfg, nil)
+	cfg.workers = 4
+	if runSweep(t, cfg, nil) != j1 {
+		t.Fatal("JSONL output depends on -workers")
+	}
+}
+
+func TestSweepJSONLRecords(t *testing.T) {
+	cfg := testCfg()
+	cfg.format = "jsonl"
+	out := runSweep(t, cfg, nil)
+	recs, err := mc.ReadRecords(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("JSONL output unparseable: %v", err)
+	}
+	wantCells := 2 * 2
+	if len(recs) != wantCells*cfg.reps {
+		t.Fatalf("got %d records, want %d", len(recs), wantCells*cfg.reps)
+	}
+	byJob := mc.GroupByJob(recs)
+	if len(byJob) != wantCells {
+		t.Fatalf("got %d jobs, want %d", len(byJob), wantCells)
+	}
+	for job, byRep := range byJob {
+		if len(byRep) != cfg.reps {
+			t.Errorf("job %s has %d replicates, want %d", job, len(byRep), cfg.reps)
+		}
+		for rep, rec := range byRep {
+			if rec.Rounds <= 0 || rec.Seed == 0 {
+				t.Errorf("job %s rep %d has implausible record %+v", job, rep, rec)
+			}
+		}
+	}
+	// One line per record, each valid JSON.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+	}
+}
+
+// TestSweepResume interrupts a JSONL grid by truncating its output file
+// to a record prefix, resumes, and requires the completed file to be
+// byte-identical to an uninterrupted run.
+func TestSweepResume(t *testing.T) {
+	cfg := testCfg()
+	cfg.format = "jsonl"
+	dir := t.TempDir()
+
+	full := filepath.Join(dir, "full.jsonl")
+	cfg.out = full
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lines := bytes.SplitAfter(want, []byte("\n"))
+	cut := len(lines) / 3
+	partial := filepath.Join(dir, "partial.jsonl")
+	if err := os.WriteFile(partial, bytes.Join(lines[:cut], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.out = partial
+	cfg.resume = true
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	got, err := os.ReadFile(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed grid differs from uninterrupted run:\n got %d bytes\nwant %d bytes", len(got), len(want))
+	}
+}
+
+func TestSweepResumeRejectsForeignGrid(t *testing.T) {
+	cfg := testCfg()
+	cfg.format = "jsonl"
+	dir := t.TempDir()
+	cfg.out = filepath.Join(dir, "grid.jsonl")
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.resume = true
+	cfg.ks = "2" // narrower grid: the k=4 records on disk are now foreign
+	if err := run(context.Background(), cfg); err == nil {
+		t.Fatal("resume with a changed grid must fail, not mix stale records into the file")
+	}
+}
+
+func TestSweepResumeRejectsReorderedGrid(t *testing.T) {
+	cfg := testCfg()
+	cfg.format = "jsonl"
+	dir := t.TempDir()
+	cfg.out = filepath.Join(dir, "grid.jsonl")
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate to a prefix ending inside the first rule's cells, then
+	// resume with the rules reversed: same cell set, different order, so
+	// appending would interleave job blocks.
+	raw, err := os.ReadFile(cfg.out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	if err := os.WriteFile(cfg.out, bytes.Join(lines[:3], nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg.resume = true
+	cfg.rules = "2choices,3majority"
+	if err := run(context.Background(), cfg); err == nil {
+		t.Fatal("resume with reordered cells must fail, not append a misordered file")
+	}
+}
+
+func TestSweepResumeRejectsWrongSeed(t *testing.T) {
+	cfg := testCfg()
+	cfg.format = "jsonl"
+	dir := t.TempDir()
+	cfg.out = filepath.Join(dir, "grid.jsonl")
+	if err := run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.resume = true
+	cfg.seed++
+	if err := run(context.Background(), cfg); err == nil {
+		t.Fatal("resume with a different -seed must fail, not silently mix streams")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cfg := testCfg()
+	cfg.format = "xml"
+	if err := run(context.Background(), cfg); err == nil {
+		t.Error("unknown -format accepted")
+	}
+	cfg = testCfg()
+	cfg.resume = true // csv + no -out
+	if err := run(context.Background(), cfg); err == nil {
+		t.Error("-resume without -format jsonl -out accepted")
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	for _, ok := range []string{"3majority", "median", "polling", "2choices", "hplurality:3"} {
+		if _, err := parseRule(ok); err != nil {
+			t.Errorf("parseRule(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"4majority", "hplurality:0", "hplurality:x", ""} {
+		if _, err := parseRule(bad); err == nil {
+			t.Errorf("parseRule(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCellSeedStable(t *testing.T) {
+	a := cellSeed(1, "rule/n=10/k=2/c=1")
+	if a != cellSeed(1, "rule/n=10/k=2/c=1") {
+		t.Error("cellSeed not deterministic")
+	}
+	if a == cellSeed(1, "rule/n=10/k=4/c=1") || a == cellSeed(2, "rule/n=10/k=2/c=1") {
+		t.Error("cellSeed collides across cells/seeds")
+	}
+}

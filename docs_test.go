@@ -1,0 +1,77 @@
+// Docs checks: every relative markdown link in the repository must point
+// at a file or directory that exists, so README/DESIGN/EXPERIMENTS never
+// ship dangling references. CI runs this in the docs job; it also runs
+// with the ordinary test suite.
+package plurality_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// linkRE matches inline markdown links/images: [text](target). Reference
+// definitions and autolinks are out of scope — the repo's docs use the
+// inline form.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func TestMarkdownLinks(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for _, line := range strings.Split(string(raw), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				switch {
+				case strings.HasPrefix(target, "http://"),
+					strings.HasPrefix(target, "https://"),
+					strings.HasPrefix(target, "mailto:"),
+					strings.HasPrefix(target, "#"):
+					continue
+				}
+				// Drop a #fragment; anchors are not checked.
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: dangling link %q (resolved %s)", rel, m[1], resolved)
+				}
+				checked++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no markdown links found — the walker is broken")
+	}
+}

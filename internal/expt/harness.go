@@ -1,24 +1,28 @@
-// Package expt implements the benchmark harness: the twelve experiments
-// E1–E12 of DESIGN.md, each regenerating one of the paper's theorem-level
-// "tables/figures" (convergence-time scaling, lower bounds, rule-zoo
-// failure probabilities, adversarial self-stabilization, drift validation).
+// Package expt implements the benchmark harness: the nineteen experiments
+// E1–E19 of DESIGN.md §4, each regenerating one of the paper's
+// theorem-level "tables/figures" (convergence-time scaling, lower bounds,
+// rule-zoo failure probabilities, adversarial self-stabilization, drift
+// validation, and the extension studies E13–E19).
 //
 // Experiments are pure functions from (Profile, seed) to a Table; the
 // Profile selects the workload scale (Quick for tests/benches, Full for
-// the shipped EXPERIMENTS.md numbers). Replicates run in parallel across
-// worker goroutines with independent rng streams, so every table is
-// reproducible from its seed.
+// the heavyweight EXPERIMENTS.md numbers — the committed file is the
+// quick profile so CI can regenerate it; see cmd/experiments -doc).
+// Replicates run on the shared internal/mc worker pool with pre-derived
+// per-replicate seeds, so every table is reproducible from its seed and
+// independent of the worker count.
 package expt
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
+	"plurality/internal/mc"
 	"plurality/internal/rng"
 )
 
@@ -134,46 +138,13 @@ func (p Profile) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// ParallelReps evaluates f on reps independent replicates, fanning out
-// across the profile's workers. Replicate i receives an rng stream derived
-// from (seed, i), so results are independent of scheduling and worker
-// count. The returned slice is indexed by replicate.
+// ParallelReps evaluates f on reps independent replicates across the
+// shared internal/mc worker pool. Replicate i receives a private rng
+// stream derived from (seed, i) before any work is scheduled, so results
+// are independent of scheduling and worker count. The returned slice is
+// indexed by replicate.
 func ParallelReps[T any](p Profile, reps int, seed uint64, f func(rep int, r *rng.Rand) T) []T {
-	out := make([]T, reps)
-	workers := p.workers()
-	if workers > reps {
-		workers = reps
-	}
-	if workers <= 1 {
-		base := rng.New(seed)
-		for i := 0; i < reps; i++ {
-			out[i] = f(i, base.NewStream())
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	// Pre-derive one seed per replicate so results do not depend on which
-	// worker picks up which replicate.
-	base := rng.New(seed)
-	seeds := make([]uint64, reps)
-	for i := range seeds {
-		seeds[i] = base.Uint64()
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = f(i, rng.New(seeds[i]))
-			}
-		}()
-	}
-	for i := 0; i < reps; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	out, _ := mc.Map(context.Background(), mc.Shared(p.workers()), reps, seed, f)
 	return out
 }
 

@@ -1,0 +1,84 @@
+package mc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// AppendRecord writes one record as a single JSON line. Records written
+// through a Pool.Run sink arrive in replicate order, so two runs with the
+// same (seed, grid) produce byte-identical files regardless of workers.
+func AppendRecord(w io.Writer, rec Record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadRecords parses a JSONL record stream. Blank lines are skipped; a
+// malformed line is an error (a file truncated mid-line must be repaired
+// before resuming, so a resumed grid never silently drops replicates).
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("mc: bad record on line %d: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GroupByJob indexes records by (job name, replicate) for RunOpts.Done.
+// A duplicate (job, rep) pair keeps the first record seen.
+func GroupByJob(recs []Record) map[string]map[int]Record {
+	out := map[string]map[int]Record{}
+	for _, rec := range recs {
+		byRep, ok := out[rec.Job]
+		if !ok {
+			byRep = map[int]Record{}
+			out[rec.Job] = byRep
+		}
+		if _, dup := byRep[rec.Rep]; !dup {
+			byRep[rec.Rep] = rec
+		}
+	}
+	return out
+}
+
+// ReadResumeFile loads a JSONL file written by a previous (interrupted)
+// grid run and groups it for RunOpts.Done. A missing file is not an
+// error: it returns an empty index, so "-resume" also starts fresh grids.
+func ReadResumeFile(path string) (map[string]map[int]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]map[int]Record{}, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := ReadRecords(f)
+	if err != nil {
+		return nil, fmt.Errorf("mc: resume file %s: %v", path, err)
+	}
+	return GroupByJob(recs), nil
+}

@@ -1,0 +1,228 @@
+// Package mc is the replicate-parallel Monte Carlo runner shared by the
+// experiment harness (internal/expt), cmd/sweep and cmd/experiments.
+//
+// Every statistical claim reproduced from the paper — md(c)·log n
+// convergence, rule-zoo failure rates, bias tightness — is a Monte Carlo
+// statement over independent replicates. This package centralizes the
+// replicate loop that used to be hand-rolled at each call site:
+//
+//   - a persistent worker Pool executes replicates in parallel;
+//   - each replicate gets a private seed drawn from a jump-isolated
+//     rng stream (RepSeeds), so results are deterministic for a fixed
+//     base seed and — because seeds are pre-derived — independent of the
+//     worker count and of goroutine scheduling;
+//   - a Job streams one Record per replicate, in replicate order, to an
+//     optional sink (typically a JSONL writer; see AppendRecord), and
+//     returns the full record slice for in-memory aggregation (Aggregate);
+//   - interrupted grids resume from their JSONL output: records already
+//     on disk are passed back via RunOpts.Done and are not re-executed.
+//
+// The typical flow:
+//
+//	pool := mc.NewPool(workers) // or mc.Shared(workers)
+//	defer pool.Close()
+//	job := mc.Job{Name: "3majority/n=1e5/k=8", Seed: 1, Replicates: 20,
+//	    MaxRounds: 200_000,
+//	    New: func(seed uint64) mc.Run {
+//	        return func() mc.Record { /* one full simulation */ },
+//	    }}
+//	recs, err := pool.Run(ctx, job, mc.RunOpts{Sink: sink})
+//	agg := mc.Aggregate(recs)
+package mc
+
+import (
+	"context"
+	"fmt"
+
+	"plurality/internal/rng"
+	"plurality/internal/stats"
+)
+
+// Record is the result of one replicate. The runner fills Job, Rep and
+// Seed itself; the replicate's Run supplies the outcome fields.
+type Record struct {
+	// Job names the grid cell / experiment this record belongs to.
+	Job string `json:"job,omitempty"`
+	// Rep is the replicate index within the job, 0-based.
+	Rep int `json:"rep"`
+	// Seed is the replicate's private seed: rng.New(Seed) reproduces the
+	// replicate in isolation.
+	Seed uint64 `json:"seed"`
+	// Rounds is the number of simulated rounds the replicate executed.
+	Rounds int `json:"rounds"`
+	// Success is the replicate's success event (for the paper's tables:
+	// consensus on the initial plurality color).
+	Success bool `json:"success"`
+	// Value carries an optional rule-specific metric.
+	Value float64 `json:"value,omitempty"`
+}
+
+// Run executes one fully-seeded replicate and returns its Record. The
+// runner overwrites the Record's Job, Rep and Seed fields.
+type Run func() Record
+
+// Job describes one Monte Carlo estimate: Replicates independent
+// executions of the closure produced by New.
+type Job struct {
+	// Name identifies the job in Records and resume files. Jobs in one
+	// JSONL grid must have distinct names.
+	Name string
+	// Seed is the base seed; per-replicate seeds derive from it (RepSeeds).
+	Seed uint64
+	// Replicates is the number of independent executions.
+	Replicates int
+	// MaxRounds is the round budget the factory should apply to each
+	// replicate (callers close over it when building New; it rides on the
+	// Job so grid drivers have one place to thread the budget through).
+	MaxRounds int
+	// New builds the replicate closure from its private 64-bit seed.
+	New func(seed uint64) Run
+}
+
+// RunOpts tunes one Pool.Run call.
+type RunOpts struct {
+	// Done maps replicate index to an already-computed Record (typically
+	// read back from a JSONL file). Those replicates are not re-executed
+	// and not re-emitted to Sink; their records are validated against the
+	// job's derived seeds and included in the returned slice.
+	Done map[int]Record
+	// Sink, if non-nil, receives each newly computed Record in replicate
+	// order. A Sink error aborts the run after in-flight replicates drain.
+	Sink func(Record) error
+}
+
+// RepSeeds returns the n per-replicate seeds derived from a job's base
+// seed. The seed stream is jump-isolated: a seed-initialized generator is
+// advanced by 2^128 steps before any seed is drawn, so replicate seeds
+// never collide with draws a caller makes from rng.New(seed) directly.
+// Seeds are pre-derived for all replicates, which is what makes results
+// independent of worker count and scheduling.
+func RepSeeds(seed uint64, n int) []uint64 {
+	src := rng.New(seed)
+	src.Jump()
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = src.Uint64()
+	}
+	return out
+}
+
+// Run executes the job's replicates on the pool and returns the records
+// indexed by replicate. Records in opts.Done are reused; the rest are
+// computed. On a context or sink error the returned error is non-nil and
+// the slice holds only the records completed before the abort.
+func (p *Pool) Run(ctx context.Context, job Job, opts RunOpts) ([]Record, error) {
+	n := job.Replicates
+	if n <= 0 {
+		return nil, fmt.Errorf("mc: job %q needs Replicates > 0", job.Name)
+	}
+	if job.New == nil {
+		return nil, fmt.Errorf("mc: job %q has a nil factory", job.Name)
+	}
+	seeds := RepSeeds(job.Seed, n)
+	recs := make([]Record, n)
+	have := make([]bool, n) // provided via opts.Done
+	comp := make([]bool, n) // computed this run
+	for i, rec := range opts.Done {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("mc: job %q resume record rep %d out of range [0,%d)", job.Name, i, n)
+		}
+		if rec.Seed != seeds[i] {
+			return nil, fmt.Errorf("mc: job %q resume record rep %d has seed %d, want %d (file from a different base seed?)",
+				job.Name, i, rec.Seed, seeds[i])
+		}
+		rec.Job, rec.Rep = job.Name, i
+		recs[i] = rec
+		have[i] = true
+	}
+	// flush emits computed records to the sink in replicate order, skipping
+	// Done records (they are already wherever the sink writes). A sink
+	// error latches: the failed record is never retried (the sink may have
+	// partially written it) and no further records are emitted while the
+	// in-flight replicates drain.
+	flush := 0
+	sinkFailed := false
+	advance := func() error {
+		if sinkFailed {
+			return nil
+		}
+		for flush < n && (have[flush] || comp[flush]) {
+			if !have[flush] && opts.Sink != nil {
+				if err := opts.Sink(recs[flush]); err != nil {
+					sinkFailed = true
+					return err
+				}
+			}
+			flush++
+		}
+		return nil
+	}
+	err := p.dispatch(ctx, n,
+		func(i int) bool { return have[i] },
+		func(i int) {
+			rec := job.New(seeds[i])()
+			rec.Job, rec.Rep, rec.Seed = job.Name, i, seeds[i]
+			recs[i] = rec
+		},
+		func(i int) error {
+			comp[i] = true
+			return advance()
+		})
+	if err != nil {
+		return recs[:flush], err
+	}
+	return recs, nil
+}
+
+// Agg is the in-memory aggregate of a job's records: success counts for
+// Wilson intervals and the rounds sample for mean/std/quantiles.
+type Agg struct {
+	// N is the number of aggregated records.
+	N int
+	// Wins is the number of records with Success set.
+	Wins int
+
+	rounds []float64
+}
+
+// Aggregate folds a record slice into an Agg.
+func Aggregate(recs []Record) *Agg {
+	a := &Agg{}
+	for _, rec := range recs {
+		a.Add(rec)
+	}
+	return a
+}
+
+// Add folds one record into the aggregate.
+func (a *Agg) Add(rec Record) {
+	a.N++
+	if rec.Success {
+		a.Wins++
+	}
+	a.rounds = append(a.rounds, float64(rec.Rounds))
+}
+
+// SuccessRate returns Wins/N. It panics on an empty aggregate.
+func (a *Agg) SuccessRate() float64 {
+	if a.N == 0 {
+		panic("mc: SuccessRate on empty aggregate")
+	}
+	return float64(a.Wins) / float64(a.N)
+}
+
+// Wilson returns the Wilson score interval for the success proportion at
+// confidence z (1.96 for 95%).
+func (a *Agg) Wilson(z float64) (lo, hi float64) {
+	return stats.WilsonInterval(a.Wins, a.N, z)
+}
+
+// Rounds summarizes the rounds sample (mean, std, median, quartiles).
+func (a *Agg) Rounds() stats.Summary {
+	return stats.Summarize(a.rounds)
+}
+
+// RoundsQuantiles returns the requested quantiles of the rounds sample.
+func (a *Agg) RoundsQuantiles(qs ...float64) []float64 {
+	return stats.Quantiles(a.rounds, qs...)
+}

@@ -1,0 +1,142 @@
+package mc
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"plurality/internal/rng"
+)
+
+// Pool is a persistent set of worker goroutines. One pool is meant to
+// outlive many jobs (a whole sweep grid or experiment suite), so the
+// per-round cost of replicate parallelism is a channel send, not a
+// goroutine spawn. A Pool is safe for concurrent Run/Map calls.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+}
+
+// NewPool starts a pool with the given parallelism (<= 0 means
+// GOMAXPROCS). Close releases the workers.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, tasks: make(chan func())}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool's parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the workers after in-flight tasks finish. It must not be
+// called while a Run or Map is active.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+var (
+	sharedMu sync.Mutex
+	shared   = map[int]*Pool{}
+)
+
+// Shared returns a process-wide persistent pool with the given
+// parallelism (<= 0 means GOMAXPROCS), creating it on first use. Shared
+// pools are never closed; their idle workers cost nothing between jobs.
+func Shared(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	p, ok := shared[workers]
+	if !ok {
+		p = NewPool(workers)
+		shared[workers] = p
+	}
+	return p
+}
+
+// dispatch runs task(i) on the pool for every i in [0, n) with skip(i)
+// false, calling after(i) on the coordinating goroutine as each task
+// completes. Submission stops on context cancellation or an after error;
+// in-flight tasks always drain before dispatch returns. skip and after
+// may be nil.
+func (p *Pool) dispatch(ctx context.Context, n int, skip func(int) bool, task func(int), after func(int) error) error {
+	todo := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if skip == nil || !skip(i) {
+			todo = append(todo, i)
+		}
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+	done := make(chan int, len(todo))
+	recv := func(i int) error {
+		if after != nil {
+			return after(i)
+		}
+		return nil
+	}
+	var firstErr error
+	sub, rcv := 0, 0
+	for rcv < len(todo) {
+		canSubmit := firstErr == nil && sub < len(todo)
+		if !canSubmit && sub == rcv {
+			break // aborted with nothing in flight
+		}
+		if canSubmit {
+			i := todo[sub]
+			t := func() { task(i); done <- i }
+			select {
+			case p.tasks <- t:
+				sub++
+			case j := <-done:
+				rcv++
+				if err := recv(j); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			case <-ctx.Done():
+				firstErr = ctx.Err()
+			}
+		} else {
+			j := <-done
+			rcv++
+			if err := recv(j); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Map evaluates f on reps independent replicates across the pool and
+// returns the results indexed by replicate. Replicate i receives
+// rng.New(RepSeeds(seed, reps)[i]), so the output is deterministic for a
+// fixed seed and independent of the pool's worker count. The error is
+// non-nil only on context cancellation, in which case the slice holds
+// zero values for replicates that did not run.
+func Map[T any](ctx context.Context, p *Pool, reps int, seed uint64, f func(rep int, r *rng.Rand) T) ([]T, error) {
+	out := make([]T, reps)
+	if reps <= 0 {
+		return out, nil
+	}
+	seeds := RepSeeds(seed, reps)
+	err := p.dispatch(ctx, reps, nil, func(i int) {
+		out[i] = f(i, rng.New(seeds[i]))
+	}, nil)
+	return out, err
+}

@@ -84,6 +84,21 @@ func Quantile(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
+// Quantiles returns the q-quantiles of an unsorted sample, sorting a
+// private copy once. It panics on an empty sample.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantiles on empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = Quantile(sorted, q)
+	}
+	return out
+}
+
 // Mean returns the arithmetic mean.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

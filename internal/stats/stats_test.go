@@ -228,3 +228,23 @@ func TestFitPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{40, 10, 30, 20} // unsorted on purpose
+	got := Quantiles(xs, 0, 0.5, 1)
+	if got[0] != 10 || got[1] != 25 || got[2] != 40 {
+		t.Errorf("Quantiles = %v", got)
+	}
+	if xs[0] != 40 {
+		t.Error("Quantiles must not mutate its input")
+	}
+	if out := Quantiles([]float64{7}); len(out) != 0 {
+		t.Errorf("Quantiles with no qs = %v", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantiles on empty sample must panic")
+		}
+	}()
+	Quantiles(nil, 0.5)
+}
