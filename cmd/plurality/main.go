@@ -158,26 +158,9 @@ func parseBias(s string, n int64, k int) (int64, error) {
 	return v, nil
 }
 
+// parseRule resolves the shared rule names (see dynamics.ParseRule).
 func parseRule(s string) (dynamics.Rule, error) {
-	switch {
-	case s == "3majority":
-		return dynamics.ThreeMajority{}, nil
-	case s == "3majority-utie":
-		return dynamics.ThreeMajority{UniformTie: true}, nil
-	case s == "median":
-		return dynamics.Median{}, nil
-	case s == "polling":
-		return dynamics.Polling{}, nil
-	case s == "2choices":
-		return dynamics.TwoChoices{}, nil
-	case strings.HasPrefix(s, "hplurality:"):
-		h, err := strconv.Atoi(strings.TrimPrefix(s, "hplurality:"))
-		if err != nil || h < 1 {
-			return nil, fmt.Errorf("bad h in %q", s)
-		}
-		return dynamics.NewHPlurality(h), nil
-	}
-	return nil, fmt.Errorf("unknown rule %q", s)
+	return dynamics.ParseRule(s)
 }
 
 func buildEngine(engName, graphName string, rule dynamics.Rule, init colorcfg.Config,

@@ -1,0 +1,109 @@
+// Command pluralityd is the long-running simulation service: an
+// HTTP/JSON daemon that accepts plurality-consensus jobs, executes their
+// replicates on the process-wide internal/mc worker pool, and serves
+// per-replicate results as JSONL. Unlike the one-shot CLIs (cmd/plurality,
+// cmd/sweep) it keeps the alloc-free engines and the replicate-parallel
+// pool hot across requests.
+//
+//	pluralityd -addr :8080 -workers 8 -executors 2 -backlog 16
+//
+//	# submit a job and wait for the result
+//	curl -s 'localhost:8080/v1/jobs?wait=1' -d '{"n": 100000, "k": 8, "seed": 1, "replicates": 20}'
+//
+//	# submit asynchronously, poll, stream records
+//	curl -s localhost:8080/v1/jobs -d '{"engine": "sampled", "n": 1000000, "k": 8, "seed": 1, "replicates": 100}'
+//	curl -s localhost:8080/v1/jobs/j1
+//	curl -sN 'localhost:8080/v1/jobs/j1/records?follow=1'
+//
+// Results are deterministic: a job's JSONL records are a pure function of
+// its spec (see internal/service), so replaying a spec — on any -workers
+// setting — reproduces the bytes. See DESIGN.md §6 for the job lifecycle
+// and backpressure contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"plurality/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "replicate-pool parallelism (0 = GOMAXPROCS)")
+		executors = flag.Int("executors", 2, "async jobs executing concurrently")
+		backlog   = flag.Int("backlog", 16, "async jobs admitted beyond the executing ones (full backlog = HTTP 429)")
+		maxSync   = flag.Int("max-sync", 4, "synchronous submissions executing concurrently")
+		syncCost  = flag.Int64("sync-cost", 0, "cost threshold for the auto-sync path in agent updates (0 = default)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *addr, service.Options{
+		Workers:   *workers,
+		Executors: *executors,
+		Backlog:   *backlog,
+		MaxSync:   *maxSync,
+		SyncCost:  *syncCost,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "pluralityd:", err)
+		os.Exit(1)
+	}
+}
+
+// run binds the listener and serves until ctx is cancelled.
+func run(ctx context.Context, addr string, opts service.Options) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serve(ctx, ln, opts)
+}
+
+// serve serves until ctx is cancelled, then drains: the listener stops
+// accepting, in-flight handlers get a grace period, and the service
+// cancels every job (in-flight replicates finish; see mc.Pool).
+func serve(ctx context.Context, ln net.Listener, opts service.Options) error {
+	svc := service.New(opts)
+	httpSrv := &http.Server{Handler: svc}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("pluralityd: listening on %s (workers=%d executors=%d backlog=%d)",
+			ln.Addr(), opts.Workers, opts.Executors, opts.Backlog)
+		errc <- httpSrv.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("pluralityd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	svc.Close()
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Stragglers (e.g. a follow stream on a job that never ends) are
+		// cut off by Close cancelling their jobs; report a clean exit.
+		err = nil
+	}
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"plurality/internal/service"
+)
+
+// TestServeLifecycle boots the daemon on an ephemeral port, round-trips
+// one synchronous job, and checks that cancelling the context shuts the
+// listener down cleanly. The full API behavior is covered by the
+// internal/service httptest suite; this is the wiring smoke test.
+func TestServeLifecycle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, service.Options{Workers: 2}) }()
+	base := "http://" + ln.Addr().String()
+
+	var resp *http.Response
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never came up: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(base+"/v1/jobs?wait=1", "application/json",
+		strings.NewReader(`{"n": 100000, "k": 8, "seed": 1, "replicates": 3, "max_rounds": 2000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info service.JobInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || info.State != service.StateDone || info.Records != 3 {
+		t.Fatalf("sync job: status %d, info %+v", resp.StatusCode, info)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after shutdown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit after context cancellation")
+	}
+	if _, err := http.Get(fmt.Sprintf("%s/healthz", base)); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}

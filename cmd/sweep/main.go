@@ -57,7 +57,7 @@ type config struct {
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.rules, "rules", "3majority", "comma-separated rules: 3majority | median | polling | 2choices | hplurality:H")
+	flag.StringVar(&cfg.rules, "rules", "3majority", "comma-separated rules: 3majority | 3majority-utie | median | polling | 2choices | hplurality:H")
 	flag.StringVar(&cfg.ns, "ns", "100000", "comma-separated population sizes")
 	flag.StringVar(&cfg.ks, "ks", "2,8,32", "comma-separated color counts")
 	flag.StringVar(&cfg.cs, "cs", "1", "comma-separated bias multipliers applied to the Cor-1 threshold")
@@ -293,24 +293,9 @@ func cellSeed(base uint64, name string) uint64 {
 	return rng.New(base ^ h.Sum64()).Uint64()
 }
 
+// parseRule resolves the shared rule names (see dynamics.ParseRule).
 func parseRule(s string) (dynamics.Rule, error) {
-	switch {
-	case s == "3majority":
-		return dynamics.ThreeMajority{}, nil
-	case s == "median":
-		return dynamics.Median{}, nil
-	case s == "polling":
-		return dynamics.Polling{}, nil
-	case s == "2choices":
-		return dynamics.TwoChoices{}, nil
-	case strings.HasPrefix(s, "hplurality:"):
-		h, err := strconv.Atoi(strings.TrimPrefix(s, "hplurality:"))
-		if err != nil || h < 1 {
-			return nil, fmt.Errorf("bad h in %q", s)
-		}
-		return dynamics.NewHPlurality(h), nil
-	}
-	return nil, fmt.Errorf("unknown rule %q", s)
+	return dynamics.ParseRule(s)
 }
 
 func parseInts(csv string) ([]int64, error) {

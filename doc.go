@@ -22,4 +22,5 @@
 //
 //	go run ./cmd/plurality -n 1000000 -k 16 -bias auto
 //	go run ./cmd/experiments -profile quick
+//	go run ./cmd/pluralityd -addr :8080   # HTTP job service, DESIGN.md §6
 package plurality

@@ -89,6 +89,11 @@ type RunOpts struct {
 	// Sink, if non-nil, receives each newly computed Record in replicate
 	// order. A Sink error aborts the run after in-flight replicates drain.
 	Sink func(Record) error
+	// OnStart, if non-nil, is called once when the job starts executing —
+	// after validation, before any replicate runs. A job that waits in a
+	// Queue backlog fires it only when an executor picks the job up, which
+	// is how a service distinguishes "queued" from "running".
+	OnStart func()
 }
 
 // RepSeeds returns the n per-replicate seeds derived from a job's base
@@ -134,6 +139,9 @@ func (p *Pool) Run(ctx context.Context, job Job, opts RunOpts) ([]Record, error)
 		rec.Job, rec.Rep = job.Name, i
 		recs[i] = rec
 		have[i] = true
+	}
+	if opts.OnStart != nil {
+		opts.OnStart()
 	}
 	// flush emits computed records to the sink in replicate order, skipping
 	// Done records (they are already wherever the sink writes). A sink

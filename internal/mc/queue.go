@@ -1,0 +1,128 @@
+package mc
+
+import (
+	"context"
+	"sync"
+)
+
+// queued is one job waiting for an executor.
+type queued struct {
+	ctx  context.Context
+	job  Job
+	opts RunOpts
+	done func(recs []Record, err error)
+}
+
+// Queue is the exported job-submission hook for long-running services: a
+// bounded backlog of Jobs drained by a fixed number of executor
+// goroutines, each of which runs one job at a time on the underlying Pool
+// (so replicates of concurrent jobs interleave fairly on the same
+// workers). Admission is non-blocking — TryEnqueue reports false when the
+// backlog is full — which is what lets a server shed load (HTTP 429)
+// instead of buffering unbounded work.
+type Queue struct {
+	pool    *Pool
+	backlog chan queued
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex // guards closed and admission into backlog
+	closed bool
+}
+
+// NewQueue starts executors goroutines draining a backlog of at most
+// backlog jobs beyond the ones being executed. executors <= 0 means 1;
+// backlog < 0 means 0 (admission succeeds only when an executor is about
+// to pick the job up).
+func NewQueue(pool *Pool, executors, backlog int) *Queue {
+	if executors <= 0 {
+		executors = 1
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	q := &Queue{
+		pool:    pool,
+		backlog: make(chan queued, backlog),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < executors; i++ {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			for {
+				select {
+				case <-q.quit:
+					return
+				case item := <-q.backlog:
+					item.run(q.pool)
+				}
+			}
+		}()
+	}
+	return q
+}
+
+// run executes one backlog item and reports through its done callback. A
+// job whose context was cancelled while it sat in the backlog is not
+// started at all.
+func (item queued) run(pool *Pool) {
+	if err := item.ctx.Err(); err != nil {
+		item.done(nil, err)
+		return
+	}
+	recs, err := pool.Run(item.ctx, item.job, item.opts)
+	item.done(recs, err)
+}
+
+// TryEnqueue submits a job for asynchronous execution. It never blocks:
+// the return value reports whether the job was admitted. When it was,
+// done is called exactly once — from an executor goroutine, or from Close
+// if the queue shuts down first — with the job's records and error
+// (pool.Run semantics: a cancelled job reports ctx.Err() and the records
+// completed before the abort). After Close, TryEnqueue always reports
+// false.
+func (q *Queue) TryEnqueue(ctx context.Context, job Job, opts RunOpts, done func(recs []Record, err error)) bool {
+	if done == nil {
+		done = func([]Record, error) {}
+	}
+	item := queued{ctx: ctx, job: job, opts: opts, done: done}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.backlog <- item:
+		return true
+	default:
+		return false
+	}
+}
+
+// Backlog reports the number of admitted jobs not yet picked up by an
+// executor (the queue depth a server would expose as a health metric).
+func (q *Queue) Backlog() int { return len(q.backlog) }
+
+// Close stops the executors after their in-flight jobs finish, then
+// reports context.Canceled to every job still in the backlog. Jobs whose
+// contexts the caller has already cancelled finish promptly; Close does
+// not cancel contexts itself. Close is idempotent and safe to call
+// concurrently with TryEnqueue.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.quit)
+	}
+	q.mu.Unlock()
+	q.wg.Wait()
+	for {
+		select {
+		case item := <-q.backlog:
+			item.done(nil, context.Canceled)
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// enqueueWait admits a job and returns a wait function for its result.
+func enqueueWait(t *testing.T, q *Queue, ctx context.Context, job Job) func() ([]Record, error) {
+	t.Helper()
+	type result struct {
+		recs []Record
+		err  error
+	}
+	ch := make(chan result, 1)
+	ok := q.TryEnqueue(ctx, job, RunOpts{}, func(recs []Record, err error) {
+		ch <- result{recs, err}
+	})
+	if !ok {
+		t.Fatalf("TryEnqueue(%q) rejected on an empty queue", job.Name)
+	}
+	return func() ([]Record, error) {
+		res := <-ch
+		return res.recs, res.err
+	}
+}
+
+func TestQueueRunsJobsLikePool(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	q := NewQueue(p, 2, 4)
+	defer q.Close()
+
+	job := testJob("queued-cell", 12)
+	wait := enqueueWait(t, q, context.Background(), job)
+	got, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Run(context.Background(), job, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("queue execution differs from direct pool.Run")
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	q := NewQueue(p, 1, 1) // one running slot, one backlog slot
+	defer q.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	blocking := Job{
+		Name: "blocking", Seed: 1, Replicates: 1,
+		New: func(uint64) Run {
+			return func() Record {
+				once.Do(func() { close(started) })
+				<-release
+				return Record{}
+			}
+		},
+	}
+	waitBlocking := enqueueWait(t, q, context.Background(), blocking)
+	<-started // the executor is busy; the backlog is empty
+
+	waitQueued := enqueueWait(t, q, context.Background(), testJob("fills-backlog", 2))
+	if q.Backlog() != 1 {
+		t.Fatalf("Backlog() = %d, want 1", q.Backlog())
+	}
+	if q.TryEnqueue(context.Background(), testJob("overflow", 2), RunOpts{}, nil) {
+		t.Fatal("TryEnqueue admitted a job past the backlog bound")
+	}
+
+	close(release)
+	if _, err := waitBlocking(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := waitQueued(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueCancelledWhileQueuedIsNotStarted(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	q := NewQueue(p, 1, 2)
+	defer q.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	blocking := Job{
+		Name: "blocking", Seed: 1, Replicates: 1,
+		New: func(uint64) Run {
+			return func() Record {
+				once.Do(func() { close(started) })
+				<-release
+				return Record{}
+			}
+		},
+	}
+	waitBlocking := enqueueWait(t, q, context.Background(), blocking)
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := false
+	job := testJob("cancelled-in-backlog", 2)
+	job.New = func(uint64) Run {
+		return func() Record { ran = true; return Record{} }
+	}
+	waitCancelled := enqueueWait(t, q, ctx, job)
+	cancel()
+	close(release)
+
+	if _, err := waitBlocking(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := waitCancelled()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(recs) != 0 || ran {
+		t.Fatal("cancelled-in-backlog job still executed replicates")
+	}
+}
+
+func TestQueueCloseReportsBacklog(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	q := NewQueue(p, 1, 4)
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	blocking := Job{
+		Name: "blocking", Seed: 1, Replicates: 1,
+		New: func(uint64) Run {
+			return func() Record {
+				once.Do(func() { close(started) })
+				<-release
+				return Record{}
+			}
+		},
+	}
+	waitBlocking := enqueueWait(t, q, context.Background(), blocking)
+	<-started
+	waitQueued := enqueueWait(t, q, context.Background(), testJob("stranded", 2))
+
+	close(release)
+	if _, err := waitBlocking(); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	// The stranded job is reported either by an executor that picked it up
+	// before quitting (it runs normally) or by Close (context.Canceled).
+	if _, err := waitQueued(); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("stranded job reported %v", err)
+	}
+	if q.TryEnqueue(context.Background(), testJob("after-close", 1), RunOpts{}, nil) {
+		t.Fatal("TryEnqueue admitted a job after Close")
+	}
+}

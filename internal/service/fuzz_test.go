@@ -1,0 +1,62 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"plurality/internal/mc"
+)
+
+// FuzzSpecJSON feeds arbitrary request bodies through the exact
+// admission path the server uses (decode → Normalize → Validate) and
+// checks the validation contract: whatever JSON arrives, validation
+// never panics, and any spec it accepts can be compiled to an mc.Job —
+// and, for small populations, executed — without panicking. This is the
+// property that keeps a hostile request from crashing the shared worker
+// pool.
+func FuzzSpecJSON(f *testing.F) {
+	f.Add([]byte(`{"n": 100000, "k": 8, "seed": 1, "replicates": 5}`))
+	f.Add([]byte(`{"rule": "median", "engine": "sampled", "n": 1000, "k": 4, "bias": "17"}`))
+	f.Add([]byte(`{"rule": "hplurality:3", "n": 500, "k": 3, "max_rounds": 50}`))
+	f.Add([]byte(`{"engine": "graph", "graph": "torus", "n": 100, "k": 2}`))
+	f.Add([]byte(`{"engine": "graph", "graph": "regular:4", "n": 64, "k": 4}`))
+	f.Add([]byte(`{"engine": "graph", "graph": "gnp:0.5", "n": 32, "k": 2}`))
+	f.Add([]byte(`{"rule": "undecided", "n": 1000, "k": 4}`))
+	f.Add([]byte(`{"rule": "2choices-keepown", "n": 100, "k": 2}`))
+	f.Add([]byte(`{"n": -1, "k": 0, "bias": "zillions"}`))
+	f.Add([]byte(`{"engine": "graph", "graph": "regular:-0", "n": 9, "k": 2, "bias": "9"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec JobSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		spec.Normalize()
+		if err := spec.Validate(); err != nil {
+			return
+		}
+		// An accepted spec must compile…
+		job := spec.MCJob()
+		if job.Name == "" || job.Replicates != spec.Replicates {
+			t.Fatalf("accepted spec compiled to a malformed job: %+v", job)
+		}
+		if spec.Cost() < 0 {
+			t.Fatalf("accepted spec has negative cost %d", spec.Cost())
+		}
+		// …and, when the population is small enough to afford it, one
+		// clipped replicate must execute without panicking (this drives the
+		// engine and graph constructors with fuzzer-chosen dimensions).
+		if spec.N > 512 {
+			return
+		}
+		clipped := spec
+		clipped.Replicates = 1
+		clipped.MaxRounds = 2
+		if err := clipped.Validate(); err != nil {
+			t.Fatalf("clipping a valid spec invalidated it: %v", err)
+		}
+		rec := clipped.MCJob().New(mc.RepSeeds(clipped.Seed, 1)[0])()
+		if rec.Rounds < 0 || rec.Rounds > 2 {
+			t.Fatalf("clipped replicate reported %d rounds", rec.Rounds)
+		}
+	})
+}

@@ -1,0 +1,297 @@
+// Package service is the HTTP/JSON layer of pluralityd: it accepts
+// simulation jobs (JobSpec), executes them on the process-wide mc.Shared
+// worker pool, and serves per-replicate results as JSONL.
+//
+// Two execution paths share one store and one pool:
+//
+//   - synchronous: small jobs (Cost below Options.SyncCost, or an
+//     explicit ?wait=1) run on the request goroutine, bounded by the
+//     MaxSync semaphore, and the response carries the terminal JobInfo;
+//   - asynchronous: everything else is admitted into an mc.Queue with
+//     Options.Executors executors and an Options.Backlog-deep backlog.
+//
+// Both paths shed load instead of buffering it: a full backlog or a
+// saturated sync semaphore is HTTP 429. Job records are a pure function
+// of the spec (see JobSpec), so the service is byte-reproducible across
+// restarts, worker counts and scheduling.
+//
+// API (all request/response bodies are JSON):
+//
+//	POST   /v1/jobs              submit (202 queued, 200 sync-done, 400, 429)
+//	GET    /v1/jobs              list all jobs
+//	GET    /v1/jobs/{id}         poll one job
+//	GET    /v1/jobs/{id}/records JSONL records; ?follow=1 streams until terminal
+//	POST   /v1/jobs/{id}/cancel  cancel a queued or running job
+//	GET    /healthz              liveness + queue depth
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"plurality/internal/mc"
+)
+
+// Options tunes a Server. The zero value means "all defaults".
+type Options struct {
+	// Workers is the parallelism of the shared replicate pool
+	// (<= 0: GOMAXPROCS).
+	Workers int
+	// Executors is the number of async jobs running concurrently
+	// (<= 0: 2).
+	Executors int
+	// Backlog is the number of admitted-but-not-running async jobs
+	// (< 0: 0; 0 means the default 16).
+	Backlog int
+	// MaxSync is the number of synchronous submissions running
+	// concurrently (<= 0: 4).
+	MaxSync int
+	// SyncCost is the JobSpec.Cost threshold at or below which a
+	// submission without an explicit ?wait runs synchronously
+	// (<= 0: 50_000_000 agent updates).
+	SyncCost int64
+}
+
+// withDefaults resolves the zero values.
+func (o Options) withDefaults() Options {
+	if o.Executors <= 0 {
+		o.Executors = 2
+	}
+	if o.Backlog == 0 {
+		o.Backlog = 16
+	} else if o.Backlog < 0 {
+		o.Backlog = 0
+	}
+	if o.MaxSync <= 0 {
+		o.MaxSync = 4
+	}
+	if o.SyncCost <= 0 {
+		o.SyncCost = 50_000_000
+	}
+	return o
+}
+
+// Server is the pluralityd HTTP handler plus the job machinery behind
+// it. Create one with New, serve it (it implements http.Handler), and
+// Close it after the HTTP server has stopped accepting requests.
+type Server struct {
+	opts    Options
+	pool    *mc.Pool
+	queue   *mc.Queue
+	store   *store
+	mux     *http.ServeMux
+	baseCtx context.Context
+	stop    context.CancelFunc
+	syncSem chan struct{}
+	once    sync.Once
+}
+
+// New builds a Server on the process-wide mc.Shared(opts.Workers) pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	pool := mc.Shared(opts.Workers)
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		pool:    pool,
+		queue:   mc.NewQueue(pool, opts.Executors, opts.Backlog),
+		store:   newStore(),
+		baseCtx: ctx,
+		stop:    stop,
+		syncSem: make(chan struct{}, opts.MaxSync),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close cancels every job and stops the executors. It must be called
+// after the HTTP listener has shut down; the shared worker pool itself
+// stays alive for the rest of the process.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		s.stop()
+		s.store.cancelAll()
+		s.queue.Close()
+	})
+}
+
+// writeJSON writes one JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the {"error": ...} body every failure path shares.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit decodes, validates and routes one submission.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	sync := spec.Cost() <= s.opts.SyncCost
+	if v := r.URL.Query().Get("wait"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad wait=%q (want a boolean)", v)
+			return
+		}
+		sync = b
+	}
+	if sync {
+		s.submitSync(w, r, spec)
+	} else {
+		s.submitAsync(w, spec)
+	}
+}
+
+// submitSync runs the job on the request goroutine under the MaxSync
+// semaphore and returns its terminal snapshot.
+func (s *Server) submitSync(w http.ResponseWriter, r *http.Request, spec JobSpec) {
+	select {
+	case s.syncSem <- struct{}{}:
+		defer func() { <-s.syncSem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "all %d synchronous slots are busy; retry or submit with wait=0", s.opts.MaxSync)
+		return
+	}
+	// The job dies with the client connection or with server shutdown,
+	// whichever comes first.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopWatch := context.AfterFunc(s.baseCtx, cancel)
+	defer stopWatch()
+
+	j := s.store.create(spec, cancel)
+	j.setRunning()
+	_, err := s.pool.Run(ctx, spec.MCJob(), mc.RunOpts{Sink: j.appendRecord})
+	j.finish(err)
+	info := j.info()
+	status := http.StatusOK
+	if info.State == StateFailed {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, info)
+}
+
+// submitAsync admits the job into the queue, rolling the registration
+// back with a 429 when the backlog is full.
+func (s *Server) submitAsync(w http.ResponseWriter, spec JobSpec) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := s.store.create(spec, cancel)
+	admitted := s.queue.TryEnqueue(ctx, spec.MCJob(), mc.RunOpts{
+		Sink:    j.appendRecord,
+		OnStart: func() { j.setRunning() },
+	}, func(_ []mc.Record, err error) {
+		j.finish(err)
+		// Release the context registration on baseCtx; without this every
+		// finished job would stay reachable until server shutdown.
+		cancel()
+	})
+	if !admitted {
+		cancel()
+		s.store.remove(j.id)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job backlog is full (%d executors, %d queued); retry later", s.opts.Executors, s.opts.Backlog)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.info())
+}
+
+// handleList serves all jobs in submission order.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.list()})
+}
+
+// jobOr404 resolves the {id} path segment.
+func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) (*jobState, bool) {
+	id := r.PathValue("id")
+	j, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+	}
+	return j, ok
+}
+
+// handleGet serves one job snapshot.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.info())
+}
+
+// handleRecords streams the job's JSONL records.
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	follow := false
+	if v := r.URL.Query().Get("follow"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad follow=%q (want a boolean)", v)
+			return
+		}
+		follow = b
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	var flush func()
+	if f, ok := w.(http.Flusher); ok && follow {
+		flush = f.Flush
+	}
+	_ = j.streamRecords(r.Context(), w, follow, flush)
+}
+
+// handleCancel requests cancellation. Cancelling a terminal job is a
+// no-op; the response is always the current snapshot.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobOr404(w, r)
+	if !ok {
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusOK, j.info())
+}
+
+// handleHealthz reports liveness and queue depth.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.pool.Workers(),
+		"backlog": s.queue.Backlog(),
+	})
+}

@@ -1,0 +1,370 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/core"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/graph"
+	"plurality/internal/mc"
+	"plurality/internal/rng"
+)
+
+// Resource caps enforced by JobSpec.Validate. They bound what a single
+// request can pin in memory or burn in CPU, so a hostile or typo'd spec
+// is rejected at admission instead of wedging the shared worker pool.
+const (
+	// MaxK bounds the number of colors (the engines hold O(k) state per
+	// replicate; the alias tables are rebuilt per round).
+	MaxK = 4096
+	// MaxReplicates bounds the Monte Carlo fan-out of one job.
+	MaxReplicates = 100_000
+	// MaxMaxRounds bounds the per-replicate round budget.
+	MaxMaxRounds = 10_000_000
+	// MaxNExact bounds n for the O(k)-per-round count-based engines
+	// (multinomial, markov, undecided): n only enters the arithmetic, so
+	// the bound is generous.
+	MaxNExact = 1_000_000_000
+	// MaxNSampled bounds n for the O(n)-per-round agent-level engines
+	// (sampled, population).
+	MaxNSampled = 100_000_000
+	// MaxNGraph bounds n for the graph engine, which materializes per-agent
+	// color state (and, for regular/gnp, an O(n·d) adjacency list).
+	MaxNGraph = 1_000_000
+	// DefaultMaxRounds is applied when a spec omits max_rounds.
+	DefaultMaxRounds = 200_000
+)
+
+// JobSpec is the wire format of one simulation job: the same knobs the
+// cmd/plurality and cmd/sweep CLIs expose, as a JSON object. The zero
+// value of every optional field means "default" (see Normalize).
+//
+// Determinism contract: the per-replicate records of a job are a pure
+// function of the spec — replicate i runs on rng.New(mc.RepSeeds(Seed,
+// Replicates)[i]) and nothing else — so resubmitting a spec yields
+// byte-identical JSONL regardless of the server's worker count, executor
+// count, or scheduling.
+type JobSpec struct {
+	// Rule is the dynamics: 3majority | 3majority-utie | median | polling |
+	// 2choices | hplurality:H | 2choices-keepown | undecided.
+	Rule string `json:"rule,omitempty"`
+	// Engine is the simulation engine: auto | multinomial | sampled |
+	// graph | population. The stateful rules (2choices-keepown, undecided)
+	// carry their own engines and require auto.
+	Engine string `json:"engine,omitempty"`
+	// Graph is the topology for Engine == "graph": complete | cycle |
+	// torus | star | regular:D | gnp:P.
+	Graph string `json:"graph,omitempty"`
+	// N is the number of agents.
+	N int64 `json:"n"`
+	// K is the number of colors.
+	K int `json:"k"`
+	// Bias is the initial additive bias toward color 0: a non-negative
+	// integer, or "auto" for the Corollary 1 threshold.
+	Bias string `json:"bias,omitempty"`
+	// Replicates is the number of independent Monte Carlo executions.
+	Replicates int `json:"replicates,omitempty"`
+	// Seed is the base seed all replicate seeds derive from.
+	Seed uint64 `json:"seed"`
+	// MaxRounds is the per-replicate round budget.
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+// Normalize fills defaulted fields in place. It is idempotent and must be
+// called before Validate.
+func (s *JobSpec) Normalize() {
+	if s.Rule == "" {
+		s.Rule = "3majority"
+	}
+	if s.Engine == "" {
+		s.Engine = "auto"
+	}
+	if s.Graph == "" {
+		s.Graph = "complete"
+	}
+	if s.Bias == "" {
+		s.Bias = "auto"
+	}
+	if s.Replicates == 0 {
+		s.Replicates = 1
+	}
+	if s.MaxRounds == 0 {
+		s.MaxRounds = DefaultMaxRounds
+	}
+}
+
+// statefulEngines maps the rules that carry their own engine and accept
+// only Engine == "auto".
+var statefulEngines = map[string]bool{"undecided": true, "2choices-keepown": true}
+
+// resolveEngine maps Engine == "auto" to the concrete engine for the rule
+// and checks rule/engine compatibility.
+func (s *JobSpec) resolveEngine() (string, error) {
+	if statefulEngines[s.Rule] {
+		if s.Engine != "auto" {
+			return "", fmt.Errorf("rule %q carries its own engine; use engine \"auto\"", s.Rule)
+		}
+		return s.Rule, nil
+	}
+	rule, err := dynamics.ParseRule(s.Rule)
+	if err != nil {
+		return "", err
+	}
+	_, isProb := rule.(dynamics.ProbModel)
+	eng := s.Engine
+	if eng == "auto" {
+		if isProb {
+			eng = "multinomial"
+		} else {
+			eng = "sampled"
+		}
+	}
+	switch eng {
+	case "multinomial":
+		if !isProb {
+			return "", fmt.Errorf("rule %q has no closed-form adoption probabilities; use engine \"sampled\"", s.Rule)
+		}
+	case "sampled", "population":
+	case "graph":
+		if err := s.checkGraph(); err != nil {
+			return "", err
+		}
+	default:
+		return "", fmt.Errorf("unknown engine %q", s.Engine)
+	}
+	return eng, nil
+}
+
+// checkGraph validates the Graph field against the graph constructors'
+// panicking preconditions so a bad topology is a 400, not a crash. The
+// cap guard comes first: it keeps the torus side search and the
+// regular-graph parity arithmetic below safely bounded (no int64
+// overflow, no linear-in-√n spin on a hostile n).
+func (s *JobSpec) checkGraph() error {
+	if s.N < 1 || s.N > MaxNGraph {
+		return fmt.Errorf("graph engine needs n in [1, %d], got %d", MaxNGraph, s.N)
+	}
+	g := s.Graph
+	switch {
+	case g == "complete", g == "cycle", g == "star":
+		return nil
+	case g == "torus":
+		side := int64(1)
+		for side*side < s.N {
+			side++
+		}
+		if side*side != s.N {
+			return fmt.Errorf("graph torus needs a square n, got %d", s.N)
+		}
+		return nil
+	case strings.HasPrefix(g, "regular:"):
+		d, err := strconv.Atoi(strings.TrimPrefix(g, "regular:"))
+		if err != nil || d < 1 {
+			return fmt.Errorf("bad degree in graph %q", g)
+		}
+		if int64(d) >= s.N {
+			return fmt.Errorf("graph %q needs degree < n = %d", g, s.N)
+		}
+		if s.N*int64(d)%2 != 0 {
+			return fmt.Errorf("graph %q needs n·d even", g)
+		}
+		return nil
+	case strings.HasPrefix(g, "gnp:"):
+		p, err := strconv.ParseFloat(strings.TrimPrefix(g, "gnp:"), 64)
+		if err != nil || p < 0 || p > 1 {
+			return fmt.Errorf("bad p in graph %q (want [0,1])", g)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown graph %q", g)
+}
+
+// biasValue parses the Bias field; "auto" resolves to the Corollary 1
+// threshold clamped to n (tiny populations can sit below the threshold).
+func (s *JobSpec) biasValue() (int64, error) {
+	if s.Bias == "auto" {
+		b := core.Corollary1Bias(s.N, s.K, 1.0)
+		if b > s.N {
+			b = s.N
+		}
+		return b, nil
+	}
+	v, err := strconv.ParseInt(s.Bias, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad bias %q (want \"auto\" or an integer)", s.Bias)
+	}
+	if v < 0 || v > s.N {
+		return 0, fmt.Errorf("bias %d outside [0, n=%d]", v, s.N)
+	}
+	return v, nil
+}
+
+// Validate checks the (normalized) spec against the engine and graph
+// preconditions and the service resource caps. All problems are reported
+// at once, joined into one error.
+func (s *JobSpec) Validate() error {
+	var errs []error
+	if s.N < 1 {
+		errs = append(errs, fmt.Errorf("n must be >= 1, got %d", s.N))
+	}
+	if s.K < 2 || s.K > MaxK {
+		errs = append(errs, fmt.Errorf("k must be in [2, %d], got %d", MaxK, s.K))
+	}
+	if s.Replicates < 1 || s.Replicates > MaxReplicates {
+		errs = append(errs, fmt.Errorf("replicates must be in [1, %d], got %d", MaxReplicates, s.Replicates))
+	}
+	if s.MaxRounds < 1 || s.MaxRounds > MaxMaxRounds {
+		errs = append(errs, fmt.Errorf("max_rounds must be in [1, %d], got %d", MaxMaxRounds, s.MaxRounds))
+	}
+	if s.N >= 1 {
+		if _, err := s.biasValue(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	eng, err := s.resolveEngine()
+	if err != nil {
+		errs = append(errs, err)
+	} else if s.N >= 1 {
+		maxN := int64(MaxNExact)
+		switch eng {
+		case "sampled", "population":
+			maxN = MaxNSampled
+		case "graph":
+			maxN = MaxNGraph
+		}
+		if s.N > maxN {
+			errs = append(errs, fmt.Errorf("n = %d exceeds the %s-engine cap %d", s.N, eng, maxN))
+		}
+	}
+	if s.K >= 2 && s.N >= 1 && int64(s.K) > s.N {
+		errs = append(errs, fmt.Errorf("k = %d exceeds n = %d", s.K, s.N))
+	}
+	return errors.Join(errs...)
+}
+
+// Name is the canonical job identifier stored in every mc.Record. It
+// covers every spec field that influences the records, so two JSONL
+// streams with equal names are byte-identical.
+func (s *JobSpec) Name() string {
+	eng, err := s.resolveEngine()
+	if err != nil {
+		eng = "invalid"
+	}
+	name := fmt.Sprintf("%s/%s/n=%d/k=%d/bias=%s/rounds=%d/seed=%d",
+		s.Rule, eng, s.N, s.K, s.Bias, s.MaxRounds, s.Seed)
+	if eng == "graph" {
+		name = fmt.Sprintf("%s/graph=%s", name, s.Graph)
+	}
+	return name
+}
+
+// Cost estimates the total work of the job in "agent updates" — the unit
+// the sync/async routing threshold is expressed in. Count-based engines
+// advance a whole round in O(k); agent-based engines touch all n agents.
+// The product saturates at MaxInt64 instead of wrapping, so a huge (but
+// individually-capped) spec can never route onto the synchronous path.
+func (s *JobSpec) Cost() int64 {
+	perRound := int64(s.K)
+	if eng, err := s.resolveEngine(); err == nil && (eng == "sampled" || eng == "graph" || eng == "population") {
+		perRound = s.N
+	}
+	cost := float64(s.Replicates) * float64(s.MaxRounds) * float64(perRound)
+	if cost >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(cost)
+}
+
+// buildEngine constructs the replicate's engine. The spec must have
+// passed Validate; r is the replicate's private generator (graph layout
+// and engine seeds draw from it, keeping the replicate a pure function of
+// its seed).
+func (s *JobSpec) buildEngine(init colorcfg.Config, r *rng.Rand) engine.Engine {
+	if s.Rule == "undecided" {
+		return engine.NewUndecidedExact(init)
+	}
+	if s.Rule == "2choices-keepown" {
+		return engine.NewCliqueMarkov(dynamics.TwoChoicesKeepOwn{}, init)
+	}
+	rule, err := dynamics.ParseRule(s.Rule)
+	if err != nil {
+		panic(fmt.Sprintf("service: buildEngine on unvalidated spec: %v", err))
+	}
+	eng, err := s.resolveEngine()
+	if err != nil {
+		panic(fmt.Sprintf("service: buildEngine on unvalidated spec: %v", err))
+	}
+	switch eng {
+	case "multinomial":
+		return engine.NewCliqueMultinomial(rule, init)
+	case "sampled":
+		// Replicates already fan out across the pool; keep the agent-level
+		// engine single-worker per replicate (matches cmd/sweep).
+		return engine.NewCliqueSampled(rule, init, 1, r.Uint64())
+	case "population":
+		return engine.NewPopulation(rule, init)
+	case "graph":
+		return engine.NewGraphEngine(rule, s.mustGraph(r), init, 1, r.Uint64(), r)
+	}
+	panic(fmt.Sprintf("service: unreachable engine %q", eng))
+}
+
+// mustGraph builds the validated topology.
+func (s *JobSpec) mustGraph(r *rng.Rand) graph.Graph {
+	g := s.Graph
+	switch {
+	case g == "complete":
+		return graph.NewComplete(s.N)
+	case g == "cycle":
+		return graph.NewCycle(s.N)
+	case g == "star":
+		return graph.NewStar(s.N)
+	case g == "torus":
+		side := int64(1)
+		for side*side < s.N {
+			side++
+		}
+		return graph.NewTorus(side, side)
+	case strings.HasPrefix(g, "regular:"):
+		d, _ := strconv.Atoi(strings.TrimPrefix(g, "regular:"))
+		return graph.NewRandomRegular(s.N, d, r)
+	case strings.HasPrefix(g, "gnp:"):
+		p, _ := strconv.ParseFloat(strings.TrimPrefix(g, "gnp:"), 64)
+		return graph.NewErdosRenyi(s.N, p, r)
+	}
+	panic(fmt.Sprintf("service: unreachable graph %q", g))
+}
+
+// MCJob compiles the spec into the mc.Job executed on the worker pool.
+// The spec must have passed Validate.
+func (s *JobSpec) MCJob() mc.Job {
+	spec := *s // detach from the caller's copy
+	bias, err := spec.biasValue()
+	if err != nil {
+		panic(fmt.Sprintf("service: MCJob on unvalidated spec: %v", err))
+	}
+	job := mc.Job{
+		Name:       spec.Name(),
+		Seed:       spec.Seed,
+		Replicates: spec.Replicates,
+		MaxRounds:  spec.MaxRounds,
+	}
+	job.New = func(seed uint64) mc.Run {
+		maxRounds := job.MaxRounds
+		return func() mc.Record {
+			r := rng.New(seed)
+			init := colorcfg.Biased(spec.N, spec.K, bias)
+			eng := spec.buildEngine(init, r)
+			defer eng.Close()
+			res := core.Run(eng, core.Options{MaxRounds: maxRounds, Rand: r})
+			return mc.Record{Rounds: res.Rounds, Success: res.WonInitialPlurality}
+		}
+	}
+	return job
+}

@@ -1,0 +1,278 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"plurality/internal/mc"
+	"plurality/internal/stats"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job lifecycle: Queued → Running → one of the terminal states. A job
+// cancelled while still queued goes straight to Cancelled without running.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether no further state transitions or records can
+// occur.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Aggregate is the terminal summary of a job's completed records.
+type Aggregate struct {
+	Replicates  int           `json:"replicates"`
+	SuccessRate float64       `json:"success_rate"`
+	WilsonLo    float64       `json:"wilson_lo"`
+	WilsonHi    float64       `json:"wilson_hi"`
+	Rounds      stats.Summary `json:"rounds"`
+}
+
+// JobInfo is the JSON snapshot of a job served by the status endpoints.
+type JobInfo struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Name is the canonical spec name stamped into every record.
+	Name string  `json:"name"`
+	Spec JobSpec `json:"spec"`
+	// Records is the number of replicate records completed so far.
+	Records int    `json:"records"`
+	Error   string `json:"error,omitempty"`
+	// Aggregate summarizes the completed records once the job is terminal
+	// (partial on cancellation).
+	Aggregate *Aggregate `json:"aggregate,omitempty"`
+}
+
+// jobState is one tracked job. recs only grows, and only before the state
+// turns terminal; cond is broadcast on every append and state change,
+// which is what the JSONL follow-streaming waits on.
+type jobState struct {
+	id     string
+	spec   JobSpec
+	cancel context.CancelFunc
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	state State
+	recs  []mc.Record
+	err   error
+}
+
+// newJobState builds a queued job.
+func newJobState(id string, spec JobSpec, cancel context.CancelFunc) *jobState {
+	j := &jobState{id: id, spec: spec, cancel: cancel, state: StateQueued}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// setRunning marks the queued job as picked up. It is a no-op once the
+// job is terminal (a cancelled-in-queue job stays cancelled).
+func (j *jobState) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		j.state = StateRunning
+		j.cond.Broadcast()
+	}
+}
+
+// appendRecord is the mc sink: records arrive in replicate order.
+func (j *jobState) appendRecord(rec mc.Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recs = append(j.recs, rec)
+	j.cond.Broadcast()
+	return nil
+}
+
+// finish moves the job to its terminal state from the run's outcome.
+func (j *jobState) finish(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = err
+	default:
+		j.state = StateFailed
+		j.err = err
+	}
+	j.cond.Broadcast()
+}
+
+// requestCancel cancels the job's context; a still-queued job is marked
+// cancelled immediately so polls never see it running afterwards.
+func (j *jobState) requestCancel() {
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.err = context.Canceled
+		j.cond.Broadcast()
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// info snapshots the job for the status API.
+func (j *jobState) info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{
+		ID:      j.id,
+		State:   j.state,
+		Name:    j.spec.Name(),
+		Spec:    j.spec,
+		Records: len(j.recs),
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	if j.state.Terminal() && len(j.recs) > 0 {
+		agg := mc.Aggregate(j.recs)
+		lo, hi := agg.Wilson(1.96)
+		info.Aggregate = &Aggregate{
+			Replicates:  agg.N,
+			SuccessRate: agg.SuccessRate(),
+			WilsonLo:    lo,
+			WilsonHi:    hi,
+			Rounds:      agg.Rounds(),
+		}
+	}
+	return info
+}
+
+// streamRecords writes the job's records to w as JSONL in replicate
+// order. With follow set it keeps the stream open, emitting records as
+// they complete (calling flush, if non-nil, after each batch) until the
+// job is terminal or ctx is cancelled (a follow client going away);
+// otherwise it writes the current snapshot and returns.
+func (j *jobState) streamRecords(ctx context.Context, w io.Writer, follow bool, flush func()) error {
+	if follow {
+		// A waiter blocked in cond.Wait only re-checks its predicate on a
+		// broadcast; wake it when the client disconnects.
+		stop := context.AfterFunc(ctx, func() {
+			j.mu.Lock()
+			j.cond.Broadcast()
+			j.mu.Unlock()
+		})
+		defer stop()
+	}
+	sent := 0
+	for {
+		j.mu.Lock()
+		for follow && sent == len(j.recs) && !j.state.Terminal() && ctx.Err() == nil {
+			j.cond.Wait()
+		}
+		batch := j.recs[sent:]
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, rec := range batch {
+			if err := mc.AppendRecord(w, rec); err != nil {
+				return err
+			}
+		}
+		sent += len(batch)
+		if flush != nil && len(batch) > 0 {
+			flush()
+		}
+		if !follow || terminal {
+			return nil
+		}
+	}
+}
+
+// store tracks all jobs the server has accepted, in submission order. Job
+// IDs are a deterministic counter ("j1", "j2", …) so a replayed request
+// sequence produces an identical API surface.
+type store struct {
+	mu    sync.Mutex
+	jobs  map[string]*jobState
+	order []string
+	next  int
+}
+
+func newStore() *store {
+	return &store{jobs: map[string]*jobState{}}
+}
+
+// create registers a new queued job.
+func (s *store) create(spec JobSpec, cancel context.CancelFunc) *jobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	id := fmt.Sprintf("j%d", s.next)
+	j := newJobState(id, spec, cancel)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j
+}
+
+// remove forgets a job that was never admitted (queue-full rollback), so
+// a rejected submission leaves no trace and no dangling ID.
+func (s *store) remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, other := range s.order {
+		if other == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// get looks a job up by ID.
+func (s *store) get(id string) (*jobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// list snapshots all jobs in submission order.
+func (s *store) list() []JobInfo {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*jobState, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobInfo, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.info())
+	}
+	return out
+}
+
+// cancelAll requests cancellation of every job (server shutdown).
+func (s *store) cancelAll() {
+	s.mu.Lock()
+	jobs := make([]*jobState, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.requestCancel()
+	}
+}

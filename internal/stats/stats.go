@@ -12,16 +12,17 @@ import (
 	"plurality/internal/rng"
 )
 
-// Summary holds the usual one-pass summary of a sample.
+// Summary holds the usual one-pass summary of a sample. The JSON field
+// names are part of the service API (internal/service job aggregates).
 type Summary struct {
-	N      int
-	Mean   float64
-	Std    float64 // sample standard deviation (n-1 denominator)
-	Min    float64
-	Max    float64
-	Median float64
-	Q25    float64
-	Q75    float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"` // sample standard deviation (n-1 denominator)
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Median float64 `json:"median"`
+	Q25    float64 `json:"q25"`
+	Q75    float64 `json:"q75"`
 }
 
 // Summarize computes a Summary. It panics on an empty sample.
