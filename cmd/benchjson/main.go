@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON summary. CI pipes the bench-regression run
+// through it and uploads BENCH_RESULTS.json as an artifact, so the perf
+// trajectory of the repository is a sequence of structured files instead
+// of raw benchmark logs:
+//
+//	go test -run='^$' -bench=BenchmarkEngine -benchtime=1x -count=5 . | go run ./cmd/benchjson > BENCH_RESULTS.json
+//
+// Repeated samples of one benchmark (from -count=N) are aggregated to
+// their mean; the trailing GOMAXPROCS suffix (`-8`) is stripped so names
+// are stable across runners.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the aggregated measurement of one benchmark.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	report, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// benchLine matches one benchmark result line: name, iteration count,
+// then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// procsSuffix is the trailing -GOMAXPROCS tag appended by the testing
+// package.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and aggregates per-benchmark
+// samples. Header lines (goos/goarch/cpu) are captured; non-benchmark
+// lines are ignored. An input with no benchmark lines is an error.
+func Parse(r io.Reader) (*Report, error) {
+	type acc struct {
+		ns, bytes, allocs float64
+		samples           int
+	}
+	accs := map[string]*acc{}
+	report := &Report{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			report.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			report.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			report.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := procsSuffix.ReplaceAllString(m[1], "")
+		name = strings.TrimPrefix(name, "Benchmark")
+		a := accs[name]
+		if a == nil {
+			a = &acc{}
+			accs[name] = a
+		}
+		fields := strings.Fields(m[2])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("line %d: odd value/unit fields in %q", lineNo, line)
+		}
+		sampled := false
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, fields[i], err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.ns += v
+				sampled = true
+			case "B/op":
+				a.bytes += v
+			case "allocs/op":
+				a.allocs += v
+			}
+		}
+		if sampled {
+			a.samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(accs) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	names := make([]string, 0, len(accs))
+	for name := range accs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := accs[name]
+		if a.samples == 0 {
+			continue
+		}
+		s := float64(a.samples)
+		report.Benchmarks[name] = Result{
+			NsPerOp:     a.ns / s,
+			BytesPerOp:  a.bytes / s,
+			AllocsPerOp: a.allocs / s,
+			Samples:     a.samples,
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"math"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: plurality
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkEngineMultinomialRound/k=2-8         	       1	        67.40 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineMultinomialRound/k=2-8         	       1	        72.60 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineSampledRound/w=1-8             	       1	   1390000 ns/op	      16 B/op	       1 allocs/op
+BenchmarkFullRunConvergence-8                 	       1	     42600 ns/op
+PASS
+ok  	plurality	1.234s
+`
+
+func TestParseAggregates(t *testing.T) {
+	report, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Goos != "linux" || report.Goarch != "amd64" || !strings.Contains(report.CPU, "Xeon") {
+		t.Errorf("header not captured: %+v", report)
+	}
+	multi, ok := report.Benchmarks["EngineMultinomialRound/k=2"]
+	if !ok {
+		t.Fatalf("missing aggregated benchmark; have %v", report.Benchmarks)
+	}
+	if multi.Samples != 2 || math.Abs(multi.NsPerOp-70.0) > 1e-9 {
+		t.Errorf("bad aggregation: %+v", multi)
+	}
+	if multi.AllocsPerOp != 0 {
+		t.Errorf("allocs = %v, want 0", multi.AllocsPerOp)
+	}
+	sampled := report.Benchmarks["EngineSampledRound/w=1"]
+	if sampled.Samples != 1 || sampled.BytesPerOp != 16 || sampled.AllocsPerOp != 1 {
+		t.Errorf("bad single sample: %+v", sampled)
+	}
+	// ns/op-only lines (no -benchmem) must still parse.
+	if conv := report.Benchmarks["FullRunConvergence"]; conv.NsPerOp != 42600 {
+		t.Errorf("bad ns-only line: %+v", conv)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestParseStripsProcsSuffixOnly(t *testing.T) {
+	in := "BenchmarkX/n=10-4 	 5	 100 ns/op\n"
+	report, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := report.Benchmarks["X/n=10"]; !ok {
+		t.Errorf("suffix handling wrong: %v", report.Benchmarks)
+	}
+}
+
+// TestEndToEndAgainstRealBenchOutput runs one real micro-benchmark and
+// pipes it through the parser, so the format assumption can't silently
+// rot against future go versions.
+func TestEndToEndAgainstRealBenchOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go test")
+	}
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "BenchmarkAliasSample$",
+		"-benchtime", "1x", "-benchmem", "plurality/internal/dist")
+	raw, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("bench run failed: %v\n%s", err, raw)
+	}
+	report, err := Parse(strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatalf("parse of real output failed: %v\n%s", err, raw)
+	}
+	if _, ok := report.Benchmarks["AliasSample"]; !ok {
+		t.Errorf("real benchmark not captured: %v", report.Benchmarks)
+	}
+}

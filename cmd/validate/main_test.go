@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestQuickTierPassesAndReports runs the real quick tier end to end: it
+// must succeed, and the JSONL report must contain one parseable line per
+// check with the negative control marked and failing.
+func TestQuickTierPassesAndReports(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.jsonl")
+	var buf bytes.Buffer
+	if err := run("quick", out, 1, 2, 2000, &buf); err != nil {
+		t.Fatalf("quick tier failed: %v\n%s", err, buf.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	type line struct {
+		Name    string  `json:"name"`
+		Kind    string  `json:"kind"`
+		Pass    bool    `json:"pass"`
+		Control bool    `json:"control"`
+		Tier    string  `json:"tier"`
+		Seed    uint64  `json:"seed"`
+		Stat    float64 `json:"stat"`
+	}
+	var lines []line
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	controlFailed := false
+	for _, l := range lines {
+		kinds[l.Kind]++
+		if l.Tier != "quick" {
+			t.Errorf("line %q has tier %q", l.Name, l.Tier)
+		}
+		if l.Control && l.Kind == "chain-chi2" && !l.Pass {
+			controlFailed = true
+		}
+		if !l.Control && !l.Pass {
+			t.Errorf("regular check failed: %q", l.Name)
+		}
+	}
+	if kinds["chain-chi2"] == 0 || kinds["chain-ks"] == 0 || kinds["golden"] == 0 {
+		t.Errorf("report missing check kinds: %v", kinds)
+	}
+	if !controlFailed {
+		t.Error("negative control did not fail in the report")
+	}
+	if !strings.Contains(buf.String(), "control-escapes=0") {
+		t.Errorf("summary missing: %s", buf.String())
+	}
+}
+
+// TestDeterministicAcrossWorkers: the summary and report must be
+// byte-identical for different pool widths (replicate seeds are
+// pre-derived; nothing may depend on scheduling).
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) (string, string) {
+		out := filepath.Join(t.TempDir(), "r.jsonl")
+		var buf bytes.Buffer
+		if err := run("quick", out, 3, workers, 1500, &buf); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		raw, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), string(raw)
+	}
+	sum1, rep1 := render(1)
+	sum3, rep3 := render(3)
+	if sum1 != sum3 {
+		t.Error("stdout summary differs between -workers 1 and 3")
+	}
+	if rep1 != rep3 {
+		t.Error("JSONL report differs between -workers 1 and 3")
+	}
+}
+
+func TestUnknownTier(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run("nope", "", 1, 1, 10, &buf); err == nil {
+		t.Fatal("unknown tier accepted")
+	}
+}
+
+// TestChainGridShape: the full grid must strictly extend the quick one
+// and keep state spaces within the exact package's bound (n ≤ 8 would be
+// the acceptance floor; the full tier may go slightly beyond).
+func TestChainGridShape(t *testing.T) {
+	qs, qc := chainGrid("quick")
+	fs, fc := chainGrid("full")
+	if len(fs) <= len(qs) || len(fc) <= len(qc) {
+		t.Errorf("full grid (%d specs, %d controls) does not extend quick (%d, %d)",
+			len(fs), len(fc), len(qs), len(qc))
+	}
+	for _, s := range qs {
+		if s.Initial.N() > 8 || s.Initial.K() > 3 {
+			t.Errorf("quick spec %q outside the n<=8, k<=3 acceptance envelope", s.Name)
+		}
+	}
+}

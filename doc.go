@@ -18,6 +18,12 @@
 // engine's round cost independent of n up to 10^9 agents and every
 // engine's steady-state Step allocation-free — see DESIGN.md §5.
 //
+// Engine fidelity is certified, not assumed: internal/validate
+// statistically cross-validates every engine against the exact Markov
+// chain and the mean-field limit, pins golden sampling traces, and runs
+// a mis-sampling mutant as a negative control (go run ./cmd/validate;
+// DESIGN.md §7).
+//
 // Start with examples/quickstart, or:
 //
 //	go run ./cmd/plurality -n 1000000 -k 16 -bias auto

@@ -4,9 +4,11 @@
 // undecided-state dynamics (fast when the monochromatic distance is small).
 //
 //	go run ./examples/compare
+//	go run ./examples/compare -n 2000 -k 4 -reps 3   # tiny run (CI smoke)
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"plurality/internal/colorcfg"
@@ -16,13 +18,14 @@ import (
 	"plurality/internal/rng"
 )
 
-const (
-	n    = 200_000
-	k    = 32
-	reps = 20
-)
-
 func main() {
+	var (
+		nFlag    = flag.Int64("n", 200_000, "number of agents")
+		kFlag    = flag.Int("k", 32, "number of colors")
+		repsFlag = flag.Int("reps", 20, "replicates per dynamics")
+	)
+	flag.Parse()
+	n, k, reps := *nFlag, *kFlag, *repsFlag
 	// Corollary-1 bias toward color 0: ample for 3-majority, irrelevant to
 	// the median rule (whose fixed point is the middle of the color range)
 	// and far too small to decide the polling lottery.
@@ -70,7 +73,7 @@ func main() {
 			winners[res.Winner]++
 		}
 		fmt.Printf("%-22s %12.1f %11d/%d    %v\n",
-			rn.name, totalRounds/reps, wins, reps, topWinners(winners))
+			rn.name, totalRounds/float64(reps), wins, reps, topWinners(winners))
 	}
 
 	fmt.Println("\nreading: median stabilizes in O(log n) but on the median color;")

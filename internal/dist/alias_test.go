@@ -33,7 +33,7 @@ func TestAliasMatchesCounts(t *testing.T) {
 		}
 	}
 	stat, df := chiSquareStat(t, obs, exp)
-	if crit := chiSquareCritical(df, z999); stat > crit {
+	if crit := chiSquareCrit(df); stat > crit {
 		t.Errorf("alias χ² = %.1f > crit %.1f (df=%d)", stat, crit, df)
 	}
 }
@@ -76,7 +76,7 @@ func TestAliasResetCounts(t *testing.T) {
 	}
 	exp := []float64{0.1 * draws, 0.3 * draws, 0.2 * draws, 0.4 * draws}
 	stat, df := chiSquareStat(t, obs, exp)
-	if crit := chiSquareCritical(df, z999); stat > crit {
+	if crit := chiSquareCrit(df); stat > crit {
 		t.Errorf("post-reset χ² = %.1f > crit %.1f (df=%d)", stat, crit, df)
 	}
 }

@@ -5,52 +5,24 @@ import (
 	"testing"
 
 	"plurality/internal/rng"
+	"plurality/internal/stats"
 )
 
-// chiSquareCritical approximates the upper-α critical value of the χ²
-// distribution with df degrees of freedom via the Wilson–Hilferty cube
-// transformation. z is the standard-normal upper-α quantile.
-func chiSquareCritical(df int, z float64) float64 {
-	d := float64(df)
-	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
-	return d * t * t * t
+// alpha999: each individual chi-square test rejects a correct sampler
+// with probability ~1e-3. Seeds are fixed, so the tests are deterministic
+// regardless.
+const alpha999 = 0.001
+
+// chiSquareCrit delegates to the shared GOF toolkit (internal/stats).
+func chiSquareCrit(df int) float64 {
+	return stats.ChiSquareCritical(df, alpha999)
 }
 
-// z999 is the standard-normal 0.999 quantile: each individual chi-square
-// test rejects a correct sampler with probability ~1e-3. Seeds are fixed,
-// so the tests are deterministic regardless.
-const z999 = 3.0902
-
-// chiSquareStat computes Σ (obs-exp)²/exp over bins, collapsing bins with
-// expected count < 5 into their neighbor to keep the statistic valid.
+// chiSquareStat wraps stats.ChiSquareGOF, failing the test on a
+// degenerate (too-few-bins) comparison.
 func chiSquareStat(t *testing.T, obs []float64, exp []float64) (stat float64, df int) {
 	t.Helper()
-	if len(obs) != len(exp) {
-		t.Fatalf("bin length mismatch %d vs %d", len(obs), len(exp))
-	}
-	// Collapse low-expectation bins left-to-right into an accumulator.
-	var co, ce float64
-	for i := range obs {
-		co += obs[i]
-		ce += exp[i]
-		if ce >= 5 {
-			stat += (co - ce) * (co - ce) / ce
-			df++
-			co, ce = 0, 0
-		}
-	}
-	if ce > 0 {
-		if ce >= 5 && df > 0 {
-			stat += (co - ce) * (co - ce) / ce
-			df++
-		} else if df > 0 {
-			// Fold the remainder into the statistic's last bin by treating
-			// it as one more (possibly small) bin only when non-trivial.
-			stat += (co - ce) * (co - ce) / math.Max(ce, 1)
-			df++
-		}
-	}
-	df-- // one constraint: totals match
+	stat, df = stats.ChiSquareGOF(obs, exp)
 	if df < 1 {
 		t.Fatalf("too few usable bins (df=%d)", df)
 	}
@@ -130,7 +102,7 @@ func TestBinomialChiSquare(t *testing.T) {
 			}
 			exp[0] += tail * float64(tc.draws)
 			stat, df := chiSquareStat(t, obs, exp)
-			if crit := chiSquareCritical(df, z999); stat > crit {
+			if crit := chiSquareCrit(df); stat > crit {
 				t.Errorf("χ² = %.1f > crit %.1f (df=%d): %s fit rejected", stat, crit, df, tc.name)
 			}
 		})
@@ -214,7 +186,7 @@ func TestMultinomialChiSquareJoint(t *testing.T) {
 		}
 	}
 	stat, df := chiSquareStat(t, obs, exp)
-	if crit := chiSquareCritical(df, z999); stat > crit {
+	if crit := chiSquareCrit(df); stat > crit {
 		t.Errorf("joint χ² = %.1f > crit %.1f (df=%d)", stat, crit, df)
 	}
 }
@@ -238,7 +210,7 @@ func TestMultinomialMarginal(t *testing.T) {
 		exp[x] = BinomialPMF(n, x, probs[j]) * draws
 	}
 	stat, df := chiSquareStat(t, obs, exp)
-	if crit := chiSquareCritical(df, z999); stat > crit {
+	if crit := chiSquareCrit(df); stat > crit {
 		t.Errorf("marginal χ² = %.1f > crit %.1f (df=%d)", stat, crit, df)
 	}
 }

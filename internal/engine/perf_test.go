@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"math"
 	"testing"
 
 	"plurality/internal/colorcfg"
@@ -9,6 +8,7 @@ import (
 	"plurality/internal/dynamics"
 	"plurality/internal/graph"
 	"plurality/internal/rng"
+	"plurality/internal/stats"
 )
 
 // TestStepZeroAllocs pins the headline perf property: the steady-state Step
@@ -68,10 +68,10 @@ func TestCloseStopsWorkers(t *testing.T) {
 // law is chi-square-tested against that exact marginal, which also proves
 // the engines agree with one another in distribution.
 
-func chiSquareCritical(df int, z float64) float64 {
-	d := float64(df)
-	t := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
-	return d * t * t * t
+// chiSquareCrit returns the α=0.001 critical value from the shared GOF
+// toolkit (internal/stats).
+func chiSquareCrit(df int) float64 {
+	return stats.ChiSquareCritical(df, 0.001)
 }
 
 // oneRoundColor0 runs reps independent single rounds from init and returns
@@ -99,26 +99,13 @@ func checkBinomialMarginal(t *testing.T, name string, obs []float64, n int64, p0
 	for x := int64(0); x <= n; x++ {
 		exp[x] = dist.BinomialPMF(n, x, p0) * float64(reps)
 	}
-	// Collapse into valid chi-square bins (expected >= 5).
-	var stat, co, ce float64
-	df := 0
-	for i := range obs {
-		co += obs[i]
-		ce += exp[i]
-		if ce >= 5 {
-			stat += (co - ce) * (co - ce) / ce
-			df++
-			co, ce = 0, 0
-		}
+	stat, df := stats.ChiSquareGOF(obs, exp)
+	if df < 1 {
+		t.Fatalf("%s: too few usable bins (df=%d)", name, df)
 	}
-	if ce > 0 && df > 0 {
-		stat += (co - ce) * (co - ce) / math.Max(ce, 1)
-		df++
-	}
-	df--
-	// z = 3.09: each test rejects a correct engine with probability ~1e-3;
+	// α=0.001: each test rejects a correct engine with probability ~1e-3;
 	// seeds are fixed so the outcome is deterministic.
-	if crit := chiSquareCritical(df, 3.0902); stat > crit {
+	if crit := chiSquareCrit(df); stat > crit {
 		t.Errorf("%s: one-round χ² = %.1f > crit %.1f (df=%d)", name, stat, crit, df)
 	}
 }
@@ -187,7 +174,7 @@ func TestEnginesAgreeInDistribution(t *testing.T) {
 	if df < 1 {
 		t.Fatal("two-sample test degenerate")
 	}
-	if crit := chiSquareCritical(df, 3.0902); stat > crit {
+	if crit := chiSquareCrit(df); stat > crit {
 		t.Errorf("multinomial vs sampled two-sample χ² = %.1f > crit %.1f (df=%d)", stat, crit, df)
 	}
 }

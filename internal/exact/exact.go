@@ -20,12 +20,16 @@ import (
 	"plurality/internal/dynamics"
 )
 
-// Chain is the exact configuration chain of a ProbModel dynamics on the
-// clique with n agents and k colors.
+// Chain is the exact configuration chain of a dynamics on the clique with
+// n agents and k colors. It is built either from a ProbModel (anonymous
+// rules: one adoption vector shared by every agent — New) or from a
+// TransitionModel (stateful rules: a per-source-color transition row —
+// NewStateful). Exactly one of model/tmodel is set.
 type Chain struct {
-	N     int64
-	K     int
-	model dynamics.ProbModel
+	N      int64
+	K      int
+	model  dynamics.ProbModel
+	tmodel dynamics.TransitionModel
 
 	// states lists every configuration (composition of n into k parts) in
 	// colex enumeration order; index maps the packed key back to the slot.
@@ -44,16 +48,39 @@ type Chain struct {
 // maxStates bounds the state-space size (Gaussian elimination is O(S³)).
 const maxStates = 4000
 
-// New enumerates the chain. It panics if the state space would exceed
-// maxStates states (choose smaller n or k).
+// New enumerates the chain of an anonymous (ProbModel) dynamics:
+// C(t+1) ~ Multinomial(n, p(C(t))). It panics if the state space would
+// exceed maxStates states (choose smaller n or k).
 func New(n int64, k int, model dynamics.ProbModel) *Chain {
+	c := enumerate(n, k)
+	c.model = model
+	return c
+}
+
+// NewStateful enumerates the chain of a stateful (TransitionModel)
+// dynamics: the agents of each source color j transition independently
+// with the row distribution TransitionProbs(c, j, ·), so
+//
+//	C(t+1) = Σ_j Multinomial(c_j, P(j → ·)),
+//
+// and the transition probability between two configurations is the exact
+// convolution of those k multinomials (computed by statefulRow). This is
+// the ground truth the CliqueMarkov engine is validated against.
+func NewStateful(n int64, k int, model dynamics.TransitionModel) *Chain {
+	c := enumerate(n, k)
+	c.tmodel = model
+	return c
+}
+
+// enumerate builds the state space shared by both chain flavors.
+func enumerate(n int64, k int) *Chain {
 	if n < 1 || k < 1 {
 		panic("exact: need n >= 1 and k >= 1")
 	}
 	if s := compositions(n, k); s > maxStates {
 		panic(fmt.Sprintf("exact: state space %d exceeds %d (n=%d, k=%d)", s, maxStates, n, k))
 	}
-	c := &Chain{N: n, K: k, model: model, index: map[string]int{}}
+	c := &Chain{N: n, K: k, index: map[string]int{}}
 	cur := make([]int64, k)
 	var rec func(pos int, remaining int64)
 	rec = func(pos int, remaining int64) {
@@ -132,7 +159,10 @@ func (c *Chain) IndexOf(cfg colorcfg.Config) int {
 }
 
 // TransitionRow fills row[j] with P(state i -> state j) for all j.
-// row must have length States().
+// row must have length States(). Monochromatic states are treated as
+// absorbing; for stateful models this is verified against the model's own
+// rows (a rule that leaves a monochromatic state would not be a consensus
+// dynamics).
 func (c *Chain) TransitionRow(i int, row []float64) {
 	if len(row) != len(c.states) {
 		panic("exact: row length mismatch")
@@ -141,7 +171,18 @@ func (c *Chain) TransitionRow(i int, row []float64) {
 		row[j] = 0
 	}
 	if a := c.absorbing[i]; a >= 0 {
+		if c.tmodel != nil {
+			probs := make([]float64, c.K)
+			c.tmodel.TransitionProbs(c.states[i], colorcfg.Color(a), probs)
+			if math.Abs(probs[a]-1) > 1e-12 {
+				panic(fmt.Sprintf("exact: stateful model leaves monochromatic state %v (stay prob %g)", c.states[i], probs[a]))
+			}
+		}
 		row[i] = 1
+		return
+	}
+	if c.tmodel != nil {
+		c.statefulRow(i, row)
 		return
 	}
 	probs := make([]float64, c.K)
@@ -149,6 +190,103 @@ func (c *Chain) TransitionRow(i int, row []float64) {
 	for j, st := range c.states {
 		row[j] = dist.MultinomialPMF(st, probs)
 	}
+}
+
+// statefulRow computes the transition row of a stateful chain by exact
+// convolution: starting from the point mass on the empty partial
+// configuration, fold in each source color j — every way to distribute its
+// c_j agents over the k target colors, weighted by the multinomial PMF
+// under the row distribution P(j → ·). After all source colors are folded
+// the partials are full configurations of n agents, mapped onto row slots.
+func (c *Chain) statefulRow(i int, row []float64) {
+	state := c.states[i]
+	type partial struct {
+		cfg []int64
+		p   float64
+	}
+	cur := map[string]partial{key(make([]int64, c.K)): {cfg: make([]int64, c.K), p: 1}}
+	rowProbs := make([]float64, c.K)
+	d := make([]int64, c.K)
+	for j, cj := range state {
+		if cj == 0 {
+			continue
+		}
+		c.tmodel.TransitionProbs(state, colorcfg.Color(j), rowProbs)
+		next := map[string]partial{}
+		var rec func(pos int, remaining int64)
+		rec = func(pos int, remaining int64) {
+			if pos == c.K-1 {
+				d[pos] = remaining
+				pd := dist.MultinomialPMF(d, rowProbs)
+				if pd == 0 {
+					return
+				}
+				for _, pa := range cur {
+					sum := make([]int64, c.K)
+					for h := range sum {
+						sum[h] = pa.cfg[h] + d[h]
+					}
+					kk := key(sum)
+					np := next[kk]
+					np.cfg = sum
+					np.p += pa.p * pd
+					next[kk] = np
+				}
+				return
+			}
+			for v := int64(0); v <= remaining; v++ {
+				d[pos] = v
+				rec(pos+1, remaining-v)
+			}
+		}
+		rec(0, cj)
+		cur = next
+	}
+	for _, pa := range cur {
+		row[c.index[key(pa.cfg)]] += pa.p
+	}
+}
+
+// DistributionAfter returns the exact distribution over states after the
+// given number of rounds starting from the point mass on `start`:
+// the row vector e_start · Pᵗ. The result has length States().
+// Transition rows are memoized per occupied state for the duration of
+// the call — the stateful convolution is far too expensive to re-derive
+// every round for states that stay occupied.
+func (c *Chain) DistributionAfter(start colorcfg.Config, rounds int) []float64 {
+	cur := make([]float64, len(c.states))
+	cur[c.IndexOf(start)] = 1
+	if rounds <= 0 {
+		return cur
+	}
+	next := make([]float64, len(c.states))
+	rows := map[int][]float64{}
+	rowOf := func(i int) []float64 {
+		row, ok := rows[i]
+		if !ok {
+			row = make([]float64, len(c.states))
+			c.TransitionRow(i, row)
+			rows[i] = row
+		}
+		return row
+	}
+	for t := 0; t < rounds; t++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i, p := range cur {
+			if p == 0 {
+				continue
+			}
+			for j, q := range rowOf(i) {
+				if q != 0 {
+					next[j] += p * q
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
 }
 
 // AbsorptionProbs returns B where B[t][j] is the probability that the

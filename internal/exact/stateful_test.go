@@ -1,0 +1,136 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
+)
+
+// TestStatefulMatchesAnonymous: ThreeMajorityKeepOwn ignores the own color
+// (every transition row is the Lemma 1 adoption vector), so the stateful
+// chain's convolution must reproduce the anonymous chain's multinomial law
+// row for row — an exact identity, not a statistical one.
+func TestStatefulMatchesAnonymous(t *testing.T) {
+	const n, k = 6, 3
+	anon := New(n, k, dynamics.ThreeMajority{})
+	stf := NewStateful(n, k, dynamics.ThreeMajorityKeepOwn{})
+	if anon.States() != stf.States() {
+		t.Fatalf("state count mismatch: %d vs %d", anon.States(), stf.States())
+	}
+	rowA := make([]float64, anon.States())
+	rowS := make([]float64, stf.States())
+	for i := 0; i < anon.States(); i++ {
+		anon.TransitionRow(i, rowA)
+		stf.TransitionRow(i, rowS)
+		for j := range rowA {
+			if math.Abs(rowA[j]-rowS[j]) > 1e-12 {
+				t.Fatalf("row %d col %d: anonymous %g vs stateful %g (state %v)",
+					i, j, rowA[j], rowS[j], anon.State(i))
+			}
+		}
+	}
+}
+
+// TestStatefulRowsSumToOne: the convolution must produce a stochastic
+// matrix for a genuinely stateful rule.
+func TestStatefulRowsSumToOne(t *testing.T) {
+	c := NewStateful(7, 3, dynamics.TwoChoicesKeepOwn{})
+	row := make([]float64, c.States())
+	for i := 0; i < c.States(); i++ {
+		c.TransitionRow(i, row)
+		sum := 0.0
+		for _, p := range row {
+			if p < 0 {
+				t.Fatalf("state %d: negative probability %g", i, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			t.Fatalf("state %d (%v): row sums to %.15f", i, c.State(i), sum)
+		}
+	}
+}
+
+// TestStatefulKeepOwnStaysPut: hand-check the (1,1,1) diagonal entry of
+// the 2-choices-keep-own chain at n=3. Each agent independently keeps its
+// color with probability 7/9 and switches to each other color with (1/3)²
+// = 1/9. The configuration (1,1,1) is preserved exactly when the joint
+// move is a color permutation: identity (7/9)³, three transpositions at
+// (1/9)²(7/9) each, two 3-cycles at (1/9)³ each — 366/729 in total.
+func TestStatefulKeepOwnStaysPut(t *testing.T) {
+	c := NewStateful(3, 3, dynamics.TwoChoicesKeepOwn{})
+	row := make([]float64, c.States())
+	i := c.IndexOf(colorcfg.FromCounts(1, 1, 1))
+	c.TransitionRow(i, row)
+	want := 366.0 / 729.0
+	if math.Abs(row[i]-want) > 1e-12 {
+		t.Errorf("P(stay at (1,1,1)) = %.12f, want %.12f", row[i], want)
+	}
+}
+
+// TestStatefulAbsorptionSymmetry: from a symmetric two-color split the
+// absorption probabilities must be exactly ½/½.
+func TestStatefulAbsorptionSymmetry(t *testing.T) {
+	c := NewStateful(6, 2, dynamics.TwoChoicesKeepOwn{})
+	probs, rounds := c.AbsorptionFrom(colorcfg.FromCounts(3, 3))
+	if math.Abs(probs[0]-0.5) > 1e-9 || math.Abs(probs[1]-0.5) > 1e-9 {
+		t.Errorf("absorption from (3,3) = %v, want (0.5, 0.5)", probs)
+	}
+	if rounds <= 0 || math.IsInf(rounds, 0) || math.IsNaN(rounds) {
+		t.Errorf("expected absorption time %v not finite positive", rounds)
+	}
+}
+
+func TestDistributionAfter(t *testing.T) {
+	c := New(6, 3, dynamics.ThreeMajority{})
+	start := colorcfg.FromCounts(3, 2, 1)
+	// T=0: point mass.
+	d0 := c.DistributionAfter(start, 0)
+	if d0[c.IndexOf(start)] != 1 {
+		t.Fatal("T=0 is not a point mass on the start state")
+	}
+	// T=1 equals the transition row of the start state.
+	d1 := c.DistributionAfter(start, 1)
+	row := make([]float64, c.States())
+	c.TransitionRow(c.IndexOf(start), row)
+	for j := range row {
+		if math.Abs(d1[j]-row[j]) > 1e-12 {
+			t.Fatalf("T=1 distribution differs from transition row at state %d", j)
+		}
+	}
+	// Mass conserved at every horizon; absorbing mass is non-decreasing.
+	prevAbsorbed := 0.0
+	for _, T := range []int{2, 5, 10, 40} {
+		d := c.DistributionAfter(start, T)
+		sum, absorbed := 0.0, 0.0
+		for i, p := range d {
+			if p < -1e-15 {
+				t.Fatalf("T=%d: negative mass %g at state %d", T, p, i)
+			}
+			sum += p
+			if c.absorbing[i] >= 0 {
+				absorbed += p
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("T=%d: total mass %.12f", T, sum)
+		}
+		if absorbed+1e-12 < prevAbsorbed {
+			t.Fatalf("T=%d: absorbed mass decreased %g -> %g", T, prevAbsorbed, absorbed)
+		}
+		prevAbsorbed = absorbed
+	}
+	// Long-horizon absorbed mass must approach the absorption probabilities.
+	d := c.DistributionAfter(start, 400)
+	probs, _ := c.AbsorptionFrom(start)
+	for j := 0; j < c.K; j++ {
+		mono := make(colorcfg.Config, c.K)
+		mono[j] = c.N
+		got := d[c.IndexOf(mono)]
+		if math.Abs(got-probs[j]) > 1e-6 {
+			t.Errorf("color %d: P^400 absorbed mass %.8f vs absorption prob %.8f", j, got, probs[j])
+		}
+	}
+}

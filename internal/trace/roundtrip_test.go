@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"plurality/internal/colorcfg"
+)
+
+// TestRoundTripEmpty: a recorder with no points must survive
+// WriteCSV → ReadCSV as an empty recorder (header only, N recovered as 0).
+func TestRoundTripEmpty(t *testing.T) {
+	rec := NewRecorder(500)
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("empty trajectory read back with %d points", back.Len())
+	}
+	if back.Segments() != nil {
+		t.Error("empty round-trip recorder must have no segments")
+	}
+}
+
+// TestRoundTripSingleRound: a trajectory of exactly one observation
+// (round 0 only) must round-trip with every field intact and N
+// reconstructed from c_max + minority_mass.
+func TestRoundTripSingleRound(t *testing.T) {
+	rec := NewRecorder(100)
+	rec.ObserveInitial(colorcfg.FromCounts(60, 30, 10))
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 100 {
+		t.Errorf("N reconstructed as %d, want 100", back.N)
+	}
+	if !reflect.DeepEqual(back.Points, rec.Points) {
+		t.Errorf("points differ:\n got %+v\nwant %+v", back.Points, rec.Points)
+	}
+	// A single-round trajectory has exactly one segment of one round.
+	segs := back.Segments()
+	if len(segs) != 1 || segs[0].Rounds() != 1 {
+		t.Errorf("bad segments for single point: %+v", segs)
+	}
+}
+
+// TestRoundTripFullRun: a full recorded run must round-trip exactly.
+func TestRoundTripFullRun(t *testing.T) {
+	rec := recordRun(t, 50000, 4, 5000, 9)
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != rec.N {
+		t.Errorf("N = %d, want %d", back.N, rec.N)
+	}
+	if !reflect.DeepEqual(back.Points, rec.Points) {
+		t.Error("full-run points differ after round-trip")
+	}
+	// Derived analyses must agree too.
+	if back.Summary() != rec.Summary() {
+		t.Error("summaries differ after round-trip")
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty input":   "",
+		"wrong header":  "a,b,c\n1,2,3\n",
+		"short header":  "round,c_max\n",
+		"bad int":       "round,c_max,c_second,bias,minority_mass,support,plurality\nx,1,1,0,0,1,0\n",
+		"column drift":  "round,c_max,c_second,bias,minority_mass,plurality,support\n",
+		"ragged record": "round,c_max,c_second,bias,minority_mass,support,plurality\n1,2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -89,6 +89,59 @@ func (rec *Recorder) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// ReadCSV parses a trajectory previously written by WriteCSV back into a
+// Recorder — the round-trip used by tooling that post-processes exported
+// traces. The recorder's N is recovered from the first data row
+// (c_max + minority_mass); an empty trajectory (header only) yields an
+// empty recorder with N = 0.
+func ReadCSV(r io.Reader) (*Recorder, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: missing CSV header: %w", err)
+	}
+	want := []string{"round", "c_max", "c_second", "bias", "minority_mass", "support", "plurality"}
+	if len(header) != len(want) {
+		return nil, fmt.Errorf("trace: header has %d columns, want %d", len(header), len(want))
+	}
+	for i, h := range header {
+		if h != want[i] {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, h, want[i])
+		}
+	}
+	rec := &Recorder{}
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return rec, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		ints := make([]int64, len(row))
+		for i, f := range row {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad field %q: %w", f, err)
+			}
+			ints[i] = v
+		}
+		p := Point{
+			Round:        int(ints[0]),
+			CMax:         ints[1],
+			CSecond:      ints[2],
+			Bias:         ints[3],
+			MinorityMass: ints[4],
+			Support:      int(ints[5]),
+			Plurality:    colorcfg.Color(ints[6]),
+		}
+		if rec.Len() == 0 {
+			rec.N = p.CMax + p.MinorityMass
+		}
+		rec.Points = append(rec.Points, p)
+	}
+}
+
 // Phase identifies one of the paper's three analysis phases.
 type Phase int
 

@@ -1,0 +1,157 @@
+package validate
+
+import (
+	"bytes"
+	"embed"
+	"fmt"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/graph"
+	"plurality/internal/rng"
+)
+
+// goldenFS embeds the committed traces so consumers outside the package
+// directory (cmd/validate) can verify them from any working directory.
+//
+//go:embed testdata/golden
+var goldenFS embed.FS
+
+// GoldenBytes returns the committed golden trace for a spec name (as of
+// build time; the test suite's -update-golden flag rewrites the source
+// files, which are re-embedded on the next build).
+func GoldenBytes(name string) ([]byte, error) {
+	return goldenFS.ReadFile("testdata/golden/" + name + ".golden")
+}
+
+// GoldenSpec is one canonical seeded run whose full per-round count
+// trajectory is committed under testdata/golden/. The statistical tier
+// catches distributional drift; goldens catch *any* change to the
+// sampling sequence — a reordered draw, a different batch size on a
+// changed code path, an off-by-one in a worker shard — even when the
+// new law is statistically identical. Engine worker counts are part of
+// the spec (never derived from the host), so the bytes are reproducible
+// on any machine and independent of test parallelism.
+type GoldenSpec struct {
+	// Name is the trace identity; the file is testdata/golden/<Name>.golden.
+	Name string
+	// NewEngine builds the engine; all randomness derives from r.
+	NewEngine EngineFactory
+	// Initial is the start configuration.
+	Initial colorcfg.Config
+	// Rounds is the number of recorded rounds (plus round 0).
+	Rounds int
+	// Seed drives the run.
+	Seed uint64
+}
+
+// StandardGoldenSpecs covers every engine family and the rule zoo's
+// representative members: the closed-form multinomial engine, the
+// agent-sampling engine at one and two workers, the graph engine on the
+// clique fast path / literal path / a random-regular topology, the
+// Markov engine, and the undecided-state engines.
+func StandardGoldenSpecs() []GoldenSpec {
+	return []GoldenSpec{
+		{
+			Name: "multinomial-3majority-n120-k4",
+			NewEngine: func(init colorcfg.Config, _ *rng.Rand) engine.Engine {
+				return engine.NewCliqueMultinomial(dynamics.ThreeMajority{}, init)
+			},
+			Initial: colorcfg.Biased(120, 4, 24), Rounds: 25, Seed: 1001,
+		},
+		{
+			Name: "multinomial-median-n100-k5",
+			NewEngine: func(init colorcfg.Config, _ *rng.Rand) engine.Engine {
+				return engine.NewCliqueMultinomial(dynamics.Median{}, init)
+			},
+			Initial: colorcfg.Biased(100, 5, 10), Rounds: 20, Seed: 1002,
+		},
+		{
+			Name: "sampled-w1-3majority-n80-k3",
+			NewEngine: func(init colorcfg.Config, r *rng.Rand) engine.Engine {
+				return engine.NewCliqueSampled(dynamics.ThreeMajority{}, init, 1, r.Uint64())
+			},
+			Initial: colorcfg.Biased(80, 3, 16), Rounds: 18, Seed: 1003,
+		},
+		{
+			Name: "sampled-w2-hplurality5-n60-k3",
+			NewEngine: func(init colorcfg.Config, r *rng.Rand) engine.Engine {
+				return engine.NewCliqueSampled(dynamics.NewHPlurality(5), init, 2, r.Uint64())
+			},
+			Initial: colorcfg.Biased(60, 3, 12), Rounds: 15, Seed: 1004,
+		},
+		{
+			Name: "graph-complete-w2-3majority-n64-k3",
+			NewEngine: func(init colorcfg.Config, r *rng.Rand) engine.Engine {
+				return engine.NewGraphEngine(dynamics.ThreeMajority{},
+					graph.NewComplete(init.N()), init, 2, r.Uint64(), nil)
+			},
+			Initial: colorcfg.Biased(64, 3, 12), Rounds: 15, Seed: 1005,
+		},
+		{
+			Name: "graph-literal-w1-3majority-n48-k3",
+			NewEngine: func(init colorcfg.Config, r *rng.Rand) engine.Engine {
+				return engine.NewGraphEngine(dynamics.ThreeMajority{},
+					opaqueGraph{graph.NewComplete(init.N())}, init, 1, r.Uint64(), nil)
+			},
+			Initial: colorcfg.Biased(48, 3, 9), Rounds: 12, Seed: 1006,
+		},
+		{
+			Name: "graph-regular8-w2-3majority-n64-k4",
+			NewEngine: func(init colorcfg.Config, r *rng.Rand) engine.Engine {
+				layout := rng.New(r.Uint64())
+				return engine.NewGraphEngine(dynamics.ThreeMajority{},
+					graph.NewRandomRegular(init.N(), 8, rng.New(r.Uint64())), init, 2, r.Uint64(), layout)
+			},
+			Initial: colorcfg.Biased(64, 4, 16), Rounds: 15, Seed: 1007,
+		},
+		{
+			Name: "markov-2choiceskeepown-n90-k3",
+			NewEngine: func(init colorcfg.Config, _ *rng.Rand) engine.Engine {
+				return engine.NewCliqueMarkov(dynamics.TwoChoicesKeepOwn{}, init)
+			},
+			Initial: colorcfg.Biased(90, 3, 30), Rounds: 20, Seed: 1008,
+		},
+		{
+			Name: "undecided-exact-n100-k4",
+			NewEngine: func(init colorcfg.Config, _ *rng.Rand) engine.Engine {
+				return engine.NewUndecidedExact(init)
+			},
+			Initial: colorcfg.Biased(100, 4, 25), Rounds: 20, Seed: 1009,
+		},
+		{
+			Name: "undecided-population-n80-k3",
+			NewEngine: func(init colorcfg.Config, _ *rng.Rand) engine.Engine {
+				return engine.NewUndecidedPopulation(init)
+			},
+			Initial: colorcfg.Biased(80, 3, 20), Rounds: 15, Seed: 1010,
+		},
+	}
+}
+
+// TraceBytes executes the spec and renders the canonical byte form:
+// a header line followed by one tab-separated line per round (round 0 is
+// the initial configuration) listing the color counts. The bytes are a
+// pure function of the spec.
+func TraceBytes(spec GoldenSpec) []byte {
+	r := rng.New(spec.Seed)
+	e := spec.NewEngine(spec.Initial.Clone(), r)
+	defer e.Close()
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# golden %s n=%d k=%d seed=%d rounds=%d\n",
+		spec.Name, spec.Initial.N(), spec.Initial.K(), spec.Seed, spec.Rounds)
+	writeRound := func(round int, c colorcfg.Config) {
+		fmt.Fprintf(&b, "%d", round)
+		for _, v := range c {
+			fmt.Fprintf(&b, "\t%d", v)
+		}
+		b.WriteByte('\n')
+	}
+	writeRound(0, e.Config())
+	for t := 1; t <= spec.Rounds; t++ {
+		e.Step(r)
+		writeRound(t, e.Config())
+	}
+	return b.Bytes()
+}

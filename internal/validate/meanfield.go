@@ -1,0 +1,132 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/mc"
+	"plurality/internal/meanfield"
+	"plurality/internal/rng"
+)
+
+// MeanFieldSpec compares a large-n engine trajectory against the
+// deterministic mean-field recursion x(t+1) = p(x(t)).
+type MeanFieldSpec struct {
+	// Name identifies the check in reports.
+	Name string
+	// Model is the closed-form map driving the ODE limit.
+	Model dynamics.ProbModel
+	// NewEngine builds the engine under test.
+	NewEngine EngineFactory
+	// Initial is the start configuration; n should be large (the
+	// stochastic process stays within O(1/√n) of the recursion).
+	Initial colorcfg.Config
+	// Rounds is the horizon T.
+	Rounds int
+	// Replicates is the number of trajectories averaged (default 20).
+	Replicates int
+	// Tol is the tolerance band on |mean fraction − ODE| per color and
+	// round. Zero derives a band from n, T and Replicates: the standard
+	// error of a mean of R multinomial fractions is ≤ ½/√(nR) per round,
+	// compounded linearly over the horizon plus a 1/n second-order bias
+	// allowance, all with a 6σ-style slack factor.
+	Tol float64
+}
+
+func (s MeanFieldSpec) withDefaults() MeanFieldSpec {
+	if s.Replicates <= 0 {
+		s.Replicates = 20
+	}
+	if s.Tol <= 0 {
+		n := float64(s.Initial.N())
+		T := float64(s.Rounds)
+		s.Tol = 6*(T+1)*0.5/math.Sqrt(n*float64(s.Replicates)) + 10*T/n
+	}
+	return s
+}
+
+// StandardMeanFieldSpecs returns the default large-n cells: the exact
+// multinomial engine and the agent-sampling engine, both under
+// 3-majority from a biased start.
+func StandardMeanFieldSpecs() []MeanFieldSpec {
+	init := colorcfg.Biased(100_000, 5, 8000)
+	return []MeanFieldSpec{
+		{
+			Name:  "meanfield/clique-multinomial/3majority/n=1e5,k=5,T=8",
+			Model: dynamics.ThreeMajority{},
+			NewEngine: func(in colorcfg.Config, _ *rng.Rand) engine.Engine {
+				return engine.NewCliqueMultinomial(dynamics.ThreeMajority{}, in)
+			},
+			Initial: init,
+			Rounds:  8,
+		},
+		{
+			Name:  "meanfield/clique-sampled-w2/3majority/n=2e4,k=5,T=6",
+			Model: dynamics.ThreeMajority{},
+			NewEngine: func(in colorcfg.Config, r *rng.Rand) engine.Engine {
+				return engine.NewCliqueSampled(dynamics.ThreeMajority{}, in, 2, r.Uint64())
+			},
+			Initial: colorcfg.Biased(20_000, 5, 1600),
+			Rounds:  6,
+		},
+	}
+}
+
+// CheckMeanField runs the spec's replicates, averages the per-round
+// fraction trajectories, and compares them against meanfield.Iterate
+// within the tolerance band. Stat is the maximum deviation over colors
+// and rounds; Critical is the band.
+func CheckMeanField(spec MeanFieldSpec, opts Options) CheckResult {
+	opts = opts.withDefaults()
+	spec = spec.withDefaults()
+	k := spec.Initial.K()
+
+	ode := meanfield.Iterate(spec.Model, spec.Initial.Fractions(), spec.Rounds)
+
+	trajs, err := mc.Map(ctx, opts.Pool, spec.Replicates, opts.Seed, func(_ int, r *rng.Rand) [][]float64 {
+		e := spec.NewEngine(spec.Initial, r)
+		defer e.Close()
+		traj := make([][]float64, 0, spec.Rounds+1)
+		traj = append(traj, e.Config().Fractions())
+		for t := 0; t < spec.Rounds; t++ {
+			e.Step(r)
+			traj = append(traj, e.Config().Fractions())
+		}
+		return traj
+	})
+	if err != nil {
+		panic("validate: replicate map failed: " + err.Error())
+	}
+
+	maxDev, devRound, devColor := 0.0, 0, 0
+	for t := 0; t <= spec.Rounds; t++ {
+		for j := 0; j < k; j++ {
+			mean := 0.0
+			for _, traj := range trajs {
+				mean += traj[t][j]
+			}
+			mean /= float64(len(trajs))
+			if d := math.Abs(mean - ode[t][j]); d > maxDev {
+				maxDev, devRound, devColor = d, t, j
+			}
+		}
+	}
+
+	res := CheckResult{
+		Name:       spec.Name,
+		Kind:       "meanfield",
+		Stat:       maxDev,
+		Critical:   spec.Tol,
+		Replicates: spec.Replicates,
+		Seed:       opts.Seed,
+		Pass:       maxDev <= spec.Tol,
+	}
+	if !res.Pass {
+		res.Detail = fmt.Sprintf("mean trajectory leaves the ODE band at round %d color %d (|Δ|=%.5f > %.5f)",
+			devRound, devColor, maxDev, spec.Tol)
+	}
+	return res
+}

@@ -1,0 +1,39 @@
+package validate
+
+import (
+	"fmt"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
+)
+
+// BiasedMutant is the harness's negative control: 3-majority with its
+// adoption probabilities deliberately tilted toward color 0 by Eps (and
+// renormalized). An engine driven by it samples a law close to — but
+// measurably different from — the true 3-majority chain, so the
+// certification family must reject it. If it ever passes, the harness
+// has lost its statistical power (replicates too low, tolerance too
+// loose, or a wiring bug), which is itself a test failure.
+type BiasedMutant struct {
+	dynamics.ThreeMajority
+	// Eps is the probability tilt toward color 0 (0 < Eps < 1).
+	Eps float64
+}
+
+// Name implements dynamics.Rule.
+func (m BiasedMutant) Name() string {
+	return fmt.Sprintf("3-majority-mutant(eps=%g)", m.Eps)
+}
+
+// AdoptionProbs implements dynamics.ProbModel with the tilted law
+// p'_j = (p_j + Eps·[j=0]) / (1 + Eps).
+func (m BiasedMutant) AdoptionProbs(c colorcfg.Config, dst []float64) {
+	if m.Eps <= 0 || m.Eps >= 1 {
+		panic("validate: BiasedMutant needs 0 < Eps < 1")
+	}
+	m.ThreeMajority.AdoptionProbs(c, dst)
+	dst[0] += m.Eps
+	for j := range dst {
+		dst[j] /= 1 + m.Eps
+	}
+}
