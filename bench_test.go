@@ -19,6 +19,7 @@ import (
 	"plurality/internal/expt"
 	"plurality/internal/graph"
 	"plurality/internal/rng"
+	"plurality/internal/topo"
 )
 
 // benchProfile keeps per-iteration time moderate; experiments are whole
@@ -122,18 +123,46 @@ func BenchmarkEngineSampledRound(b *testing.B) {
 }
 
 // BenchmarkEngineGraphRound measures the per-vertex engine on the clique
-// and on a random regular graph.
+// (alias fast path) and on the same random-regular workload through both
+// graph representations: the legacy adjacency list (interface sampling
+// path) and the topo CSR (direct-slice fast path) — the CSR-vs-legacy
+// ablation of DESIGN.md §8.
 func BenchmarkEngineGraphRound(b *testing.B) {
 	const n = 100_000
 	layout := rng.New(3)
-	builders := map[string]graph.Graph{
-		"clique":    graph.NewComplete(n),
-		"8-regular": graph.NewRandomRegular(n, 8, rng.New(2)),
+	builders := []struct {
+		name string
+		g    graph.Graph
+	}{
+		{"clique", graph.NewComplete(n)},
+		{"8-regular-legacy", graph.NewRandomRegular(n, 8, rng.New(2))},
+		{"8-regular-csr", topo.RandomRegular("regular:8", n, 8, rng.New(2))},
 	}
-	for name, g := range builders {
-		b.Run(name, func(b *testing.B) {
-			e := engine.NewGraphEngine(dynamics.ThreeMajority{}, g,
+	for _, tc := range builders {
+		b.Run(tc.name, func(b *testing.B) {
+			e := engine.NewGraphEngine(dynamics.ThreeMajority{}, tc.g,
 				colorcfg.Biased(n, 8, 1_000), 4, 11, layout)
+			defer e.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step(nil)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineGraphRoundSparse scales the CSR-sharded graph engine to
+// large sparse topologies: one synchronous 3-majority round on a random
+// 8-regular graph at n = 10⁶ and the headline n = 10⁷ (offsets + neighbors
+// ≈ 720 MB, double-buffered colors 80 MB — comfortably inside 2 GB; the
+// legacy engine path topped out around 10⁵).
+func BenchmarkEngineGraphRoundSparse(b *testing.B) {
+	for _, n := range []int64{1_000_000, 10_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := topo.RandomRegular("regular:8", n, 8, rng.New(4))
+			e := engine.NewGraphEngine(dynamics.ThreeMajority{}, g,
+				colorcfg.Biased(n, 8, n/100), 4, 17, rng.New(5))
 			defer e.Close()
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -23,8 +23,8 @@ import (
 	"plurality/internal/core"
 	"plurality/internal/dynamics"
 	"plurality/internal/engine"
-	"plurality/internal/graph"
 	"plurality/internal/rng"
+	"plurality/internal/topo"
 	"plurality/internal/trace"
 )
 
@@ -32,7 +32,7 @@ func main() {
 	var (
 		ruleName  = flag.String("rule", "3majority", "dynamics: 3majority | 3majority-utie | hplurality:H | median | polling | 2choices | 2choices-keepown | undecided")
 		engName   = flag.String("engine", "auto", "engine: auto | multinomial | sampled | graph | population")
-		graphName = flag.String("graph", "complete", "topology for -engine graph: complete | cycle | torus | star | regular:D | gnp:P")
+		graphName = flag.String("graph", "complete", "topology for -engine graph (internal/topo registry spec): complete | cycle | star | torus[:DIMS] | hypercube | regular:D | gnp:P | smallworld:K:BETA | ba:M | sbm:B:PIN:POUT | barbell:D")
 		n         = flag.Int64("n", 100_000, "number of agents")
 		k         = flag.Int("k", 8, "number of colors")
 		biasFlag  = flag.String("bias", "auto", "initial additive bias (integer) or 'auto' for the Corollary 1 threshold")
@@ -180,47 +180,15 @@ func buildEngine(engName, graphName string, rule dynamics.Rule, init colorcfg.Co
 	case "population":
 		return engine.NewPopulation(rule, init), nil
 	case "graph":
-		g, err := parseGraph(graphName, init.N(), r)
+		// Topology specs resolve through the internal/topo registry —
+		// the same names sweep, the service, and validate accept.
+		g, err := topo.Build(graphName, init.N(), r)
 		if err != nil {
 			return nil, err
 		}
 		return engine.NewGraphEngine(rule, g, init, workers, seed^0xbeef, r), nil
 	}
 	return nil, fmt.Errorf("unknown engine %q", engName)
-}
-
-func parseGraph(s string, n int64, r *rng.Rand) (graph.Graph, error) {
-	switch {
-	case s == "complete":
-		return graph.NewComplete(n), nil
-	case s == "cycle":
-		return graph.NewCycle(n), nil
-	case s == "star":
-		return graph.NewStar(n), nil
-	case s == "torus":
-		// Nearest square torus; require exact fit.
-		side := int64(1)
-		for side*side < n {
-			side++
-		}
-		if side*side != n {
-			return nil, fmt.Errorf("torus needs square n, got %d", n)
-		}
-		return graph.NewTorus(side, side), nil
-	case strings.HasPrefix(s, "regular:"):
-		d, err := strconv.Atoi(strings.TrimPrefix(s, "regular:"))
-		if err != nil {
-			return nil, fmt.Errorf("bad degree in %q", s)
-		}
-		return graph.NewRandomRegular(n, d, r), nil
-	case strings.HasPrefix(s, "gnp:"):
-		p, err := strconv.ParseFloat(strings.TrimPrefix(s, "gnp:"), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad p in %q", s)
-		}
-		return graph.NewErdosRenyi(n, p, r), nil
-	}
-	return nil, fmt.Errorf("unknown graph %q", s)
 }
 
 func parseAdversary(s string) (adversary.Adversary, error) {

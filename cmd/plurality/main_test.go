@@ -3,6 +3,8 @@ package main
 import (
 	"testing"
 
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
 	"plurality/internal/rng"
 )
 
@@ -44,34 +46,39 @@ func TestParseBias(t *testing.T) {
 	}
 }
 
-func TestParseGraph(t *testing.T) {
+func TestBuildEngineGraphSpecs(t *testing.T) {
+	// -graph resolves through the topo registry: every family is
+	// reachable from this CLI by name, and bad specs error out.
 	r := rng.New(1)
-	cases := map[string]string{
-		"complete":  "complete+self",
-		"cycle":     "cycle",
-		"star":      "star",
-		"torus":     "torus",
-		"regular:4": "random-4-regular",
-		"gnp:0.3":   "gnp(p=0.3)",
-	}
-	for in, want := range cases {
+	init := colorcfg.Biased(100, 3, 20)
+	for _, spec := range []string{
+		"complete", "cycle", "star", "torus", "hypercube",
+		"regular:4", "gnp:0.3", "smallworld:4:0.1", "ba:3",
+		"sbm:2:0.2:0.02", "barbell:4",
+	} {
 		n := int64(100)
-		g, err := parseGraph(in, n, r)
+		if spec == "hypercube" {
+			n = 128
+		}
+		e, err := buildEngine("graph", spec, dynamics.ThreeMajority{},
+			colorcfg.Biased(n, 3, 20), 1, 5, r)
 		if err != nil {
-			t.Errorf("parseGraph(%q): %v", in, err)
+			t.Errorf("buildEngine(graph, %q): %v", spec, err)
 			continue
 		}
-		if g.Name() != want {
-			t.Errorf("parseGraph(%q).Name() = %q, want %q", in, g.Name(), want)
+		if e.N() != n {
+			t.Errorf("%q: engine n = %d, want %d", spec, e.N(), n)
+		}
+		e.Close()
+	}
+	for _, bad := range []string{"nope", "regular:x", "gnp:y", "torus:0"} {
+		if _, err := buildEngine("graph", bad, dynamics.ThreeMajority{}, init, 1, 5, r); err == nil {
+			t.Errorf("buildEngine(graph, %q) should fail", bad)
 		}
 	}
-	if _, err := parseGraph("torus", 101, r); err == nil {
+	if _, err := buildEngine("graph", "torus", dynamics.ThreeMajority{},
+		colorcfg.Biased(101, 3, 20), 1, 5, r); err == nil {
 		t.Error("non-square torus accepted")
-	}
-	for _, bad := range []string{"nope", "regular:x", "gnp:y"} {
-		if _, err := parseGraph(bad, 100, r); err == nil {
-			t.Errorf("parseGraph(%q) should fail", bad)
-		}
 	}
 }
 

@@ -6,8 +6,15 @@
 // cmd/experiments.
 //
 //	sweep -rules 3majority,median -ns 10000,100000 -ks 2,8,32 -cs 0.5,1,2 -reps 20
+//	sweep -graphs complete,regular:8,smallworld:10:0.1 -ns 10000 -reps 20
 //	sweep -workers 8 -format jsonl -out grid.jsonl        # stream replicates
 //	sweep -format jsonl -out grid.jsonl -resume           # finish an interrupted grid
+//
+// Topology specs resolve through the internal/topo registry (the same
+// names the service and cmd/validate accept). "complete" runs the paper's
+// clique on the closed-form/sampled clique engines; every other family
+// runs the CSR-sharded graph engine on one quenched graph per cell (built
+// once from a seed derived from the cell name, shared by all replicates).
 //
 // Replicate seeds are pre-derived per cell from (-seed, cell name), so a
 // grid is deterministic for a fixed -seed regardless of -workers, cells
@@ -28,21 +35,25 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 
 	"plurality/internal/colorcfg"
 	"plurality/internal/core"
 	"plurality/internal/dynamics"
 	"plurality/internal/engine"
+	"plurality/internal/graph"
 	"plurality/internal/mc"
 	"plurality/internal/rng"
+	"plurality/internal/topo"
 )
 
 // csvHeader is the aggregated per-cell output schema.
-const csvHeader = "rule,n,k,bias_mult,bias,reps,rounds_mean,rounds_std,success_rate,wilson_lo,wilson_hi"
+const csvHeader = "rule,graph,n,k,bias_mult,bias,reps,rounds_mean,rounds_std,success_rate,wilson_lo,wilson_hi"
 
 // config collects the sweep flags.
 type config struct {
 	rules     string
+	graphs    string
 	ns        string
 	ks        string
 	cs        string
@@ -58,6 +69,8 @@ type config struct {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.rules, "rules", "3majority", "comma-separated rules: 3majority | 3majority-utie | median | polling | 2choices | hplurality:H")
+	flag.StringVar(&cfg.graphs, "graphs", "complete",
+		"comma-separated topology specs ("+strings.Join(topo.FamilyUsages(), " | ")+")")
 	flag.StringVar(&cfg.ns, "ns", "100000", "comma-separated population sizes")
 	flag.StringVar(&cfg.ks, "ks", "2,8,32", "comma-separated color counts")
 	flag.StringVar(&cfg.cs, "cs", "1", "comma-separated bias multipliers applied to the Cor-1 threshold")
@@ -143,12 +156,30 @@ func sweep(ctx context.Context, cfg config, w io.Writer, done map[string]map[int
 		}
 		rules = append(rules, rule)
 	}
-	cells := make([]string, 0, len(rules)*len(nVals)*len(kVals)*len(cVals))
-	for _, rule := range rules {
+	// Canonicalize every (graph, n) pair up front through the topo
+	// registry: a bad spec fails the whole grid before any simulation.
+	graphNames := strings.Split(cfg.graphs, ",")
+	graphs := make([]string, 0, len(graphNames))
+	for _, gname := range graphNames {
+		gname = strings.TrimSpace(gname)
+		canon := ""
 		for _, n := range nVals {
-			for _, k := range kVals {
-				for _, c := range cVals {
-					cells = append(cells, cellName(rule.Name(), n, int(k), c))
+			c, err := topo.Canonical(gname, n)
+			if err != nil {
+				return fmt.Errorf("-graphs %s at n=%d: %w", gname, n, err)
+			}
+			canon = c
+		}
+		graphs = append(graphs, canon)
+	}
+	cells := make([]string, 0, len(rules)*len(graphs)*len(nVals)*len(kVals)*len(cVals))
+	for _, rule := range rules {
+		for _, g := range graphs {
+			for _, n := range nVals {
+				for _, k := range kVals {
+					for _, c := range cVals {
+						cells = append(cells, cellName(rule.Name(), g, n, int(k), c))
+					}
 				}
 			}
 		}
@@ -166,11 +197,13 @@ func sweep(ctx context.Context, cfg config, w io.Writer, done map[string]map[int
 		}
 	}
 	for _, rule := range rules {
-		for _, n := range nVals {
-			for _, k := range kVals {
-				for _, c := range cVals {
-					if err := runCell(ctx, cfg, pool, w, done, rule, n, int(k), c); err != nil {
-						return err
+		for _, g := range graphs {
+			for _, n := range nVals {
+				for _, k := range kVals {
+					for _, c := range cVals {
+						if err := runCell(ctx, cfg, pool, w, done, rule, g, n, int(k), c); err != nil {
+							return err
+						}
 					}
 				}
 			}
@@ -227,12 +260,23 @@ func checkResumeJobs(done map[string]map[int]mc.Record, cells []string, reps int
 	return nil
 }
 
-// runCell executes one grid cell as an mc.Job and writes its output.
+// runCell executes one grid cell as an mc.Job and writes its output. For
+// gname != "complete" the cell runs the CSR-sharded graph engine on one
+// quenched topology: built lazily from the cell's derived graph seed and
+// shared read-only across all replicates.
 func runCell(ctx context.Context, cfg config, pool *mc.Pool, w io.Writer,
-	done map[string]map[int]mc.Record, rule dynamics.Rule, n int64, k int, c float64) error {
+	done map[string]map[int]mc.Record, rule dynamics.Rule, gname string, n int64, k int, c float64) error {
 	s := core.Corollary1Bias(n, k, c)
-	name := cellName(rule.Name(), n, k, c)
+	name := cellName(rule.Name(), gname, n, k, c)
 	_, isProb := rule.(dynamics.ProbModel)
+	onClique := gname == "complete"
+	sharedGraph := sync.OnceValue(func() graph.Graph {
+		g, err := topo.Build(gname, n, rng.New(cellSeed(cfg.seed, "graph/"+name)))
+		if err != nil {
+			panic(fmt.Sprintf("sweep: graph revalidation failed for %q: %v", gname, err))
+		}
+		return g
+	})
 	job := mc.Job{
 		Name:       name,
 		Seed:       cellSeed(cfg.seed, name),
@@ -245,12 +289,15 @@ func runCell(ctx context.Context, cfg config, pool *mc.Pool, w io.Writer,
 			r := rng.New(seed)
 			init := colorcfg.Biased(n, k, s)
 			var e engine.Engine
-			if isProb {
+			switch {
+			case onClique && isProb:
 				e = engine.NewCliqueMultinomial(rule, init)
-			} else {
+			case onClique:
 				// Replicates already saturate the cores; keep the
 				// agent-level engine single-worker per replicate.
 				e = engine.NewCliqueSampled(rule, init, 1, r.Uint64())
+			default:
+				e = engine.NewGraphEngine(rule, sharedGraph(), init, 1, r.Uint64(), r)
 			}
 			defer e.Close()
 			res := core.Run(e, core.Options{MaxRounds: maxRounds, Rand: r})
@@ -269,8 +316,8 @@ func runCell(ctx context.Context, cfg config, pool *mc.Pool, w io.Writer,
 		agg := mc.Aggregate(recs)
 		sum := agg.Rounds()
 		lo, hi := agg.Wilson(1.96)
-		if _, err := fmt.Fprintf(w, "%s,%d,%d,%g,%d,%d,%.2f,%.2f,%.3f,%.3f,%.3f\n",
-			rule.Name(), n, k, c, s, agg.N, sum.Mean, sum.Std,
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%g,%d,%d,%.2f,%.2f,%.3f,%.3f,%.3f\n",
+			rule.Name(), gname, n, k, c, s, agg.N, sum.Mean, sum.Std,
 			agg.SuccessRate(), lo, hi); err != nil {
 			return err
 		}
@@ -280,8 +327,8 @@ func runCell(ctx context.Context, cfg config, pool *mc.Pool, w io.Writer,
 
 // cellName is the stable grid-cell identifier used in JSONL records and
 // resume files.
-func cellName(rule string, n int64, k int, c float64) string {
-	return fmt.Sprintf("%s/n=%d/k=%d/c=%g", rule, n, k, c)
+func cellName(rule, gname string, n int64, k int, c float64) string {
+	return fmt.Sprintf("%s/g=%s/n=%d/k=%d/c=%g", rule, gname, n, k, c)
 }
 
 // cellSeed derives the cell's job seed from the base seed and the cell

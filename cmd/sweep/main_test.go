@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -20,6 +21,7 @@ import (
 func testCfg() config {
 	return config{
 		rules:     "3majority,2choices",
+		graphs:    "complete",
 		ns:        "1000",
 		ks:        "2,4",
 		cs:        "1",
@@ -83,6 +85,51 @@ func TestSweepCSVShape(t *testing.T) {
 		if got := int(col(row, "reps")); got != testCfg().reps {
 			t.Errorf("reps column = %d, want %d", got, testCfg().reps)
 		}
+	}
+}
+
+// TestSweepGraphGrid runs a grid across topology families resolved
+// through the topo registry: the graph dimension multiplies the cells,
+// non-clique cells run the CSR graph engine, and the output stays
+// deterministic across worker counts (quenched graphs are derived from
+// the cell name, not from scheduling).
+func TestSweepGraphGrid(t *testing.T) {
+	cfg := testCfg()
+	cfg.rules = "3majority"
+	cfg.ks = "2"
+	cfg.graphs = "complete,regular:4,smallworld:4:0.1,barbell:4"
+	cfg.reps = 3
+	out := runSweep(t, cfg, nil)
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("unparseable CSV: %v", err)
+	}
+	if len(rows)-1 != 4 {
+		t.Fatalf("got %d data rows, want one per graph", len(rows)-1)
+	}
+	for i, wantGraph := range []string{"complete", "regular:4", "smallworld:4:0.1", "barbell:4"} {
+		if got := rows[i+1][1]; got != wantGraph {
+			t.Errorf("row %d graph column = %q, want %q", i, got, wantGraph)
+		}
+	}
+	cfg.workers = 1
+	if runSweep(t, cfg, nil) != out {
+		t.Fatal("graph grid output depends on -workers")
+	}
+}
+
+func TestSweepRejectsBadGraphSpec(t *testing.T) {
+	cfg := testCfg()
+	cfg.graphs = "moebius"
+	if err := sweep(context.Background(), cfg, io.Discard, nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown graph") {
+		t.Fatalf("bad -graphs error = %v, want unknown graph", err)
+	}
+	cfg.graphs = "regular:3"
+	cfg.ns = "999" // odd n with odd d → n·d odd
+	if err := sweep(context.Background(), cfg, io.Discard, nil); err == nil ||
+		!strings.Contains(err.Error(), "even") {
+		t.Fatalf("parity error = %v, want n·d even", err)
 	}
 }
 

@@ -71,6 +71,12 @@ func run(tier, out string, seed uint64, workers, replicates int, w io.Writer) er
 
 	results = append(results, goldenChecks()...)
 
+	// Topology contracts: every post-clique family in the topo registry is
+	// resolved by name, rebuilt deterministically, and its CSR engine path
+	// certified byte-for-byte against the generic interface path.
+	results = append(results, validate.CertifyGraphContracts(
+		validate.StandardGraphSpecs(), validate.Options{Pool: pool, Seed: seed + 8000})...)
+
 	if tier == "full" {
 		for i, spec := range validate.StandardMeanFieldSpecs() {
 			mo := opts

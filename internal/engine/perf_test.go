@@ -9,6 +9,7 @@ import (
 	"plurality/internal/graph"
 	"plurality/internal/rng"
 	"plurality/internal/stats"
+	"plurality/internal/topo"
 )
 
 // TestStepZeroAllocs pins the headline perf property: the steady-state Step
@@ -27,6 +28,8 @@ func TestStepZeroAllocs(t *testing.T) {
 			graph.NewComplete(20_000), init, 4, 11, nil),
 		"graph-regular-w4": NewGraphEngine(dynamics.ThreeMajority{},
 			graph.NewRandomRegular(20_000, 8, rng.New(2)), init, 4, 11, nil),
+		"graph-csr-w4": NewGraphEngine(dynamics.ThreeMajority{},
+			topo.RandomRegular("regular:8", 20_000, 8, rng.New(2)), init, 4, 11, nil),
 		"undecided-exact": NewUndecidedExact(init),
 	}
 	for name, e := range cases {

@@ -11,6 +11,7 @@ import (
 	"plurality/internal/graph"
 	"plurality/internal/rng"
 	"plurality/internal/stats"
+	"plurality/internal/topo"
 )
 
 func init() {
@@ -112,27 +113,23 @@ func runE14(p Profile, seed uint64) []*Table {
 			n, k, bias, p.Reps, limit),
 		Columns: []string{"topology", "converged", "rounds_mean", "final_cmax_share"},
 	}
-	builders := []struct {
-		name string
-		mk   func(r *rng.Rand) graph.Graph
-	}{
-		{"clique", func(_ *rng.Rand) graph.Graph { return graph.NewComplete(n) }},
-		{"random-8-regular", func(r *rng.Rand) graph.Graph { return graph.NewRandomRegular(n, 8, r) }},
-		{"gnp-16/n", func(r *rng.Rand) graph.Graph { return graph.NewErdosRenyi(n, 16.0/float64(n), r) }},
-		{"torus", func(_ *rng.Rand) graph.Graph { return graph.NewTorus(side, side) }},
-		{"cycle", func(_ *rng.Rand) graph.Graph { return graph.NewCycle(n) }},
-	}
-	for _, b := range builders {
-		b := b
+	// Topology specs resolve through the topo registry (the same names
+	// sweep/service/validate accept); each family runs on one quenched
+	// graph shared across replicates.
+	specs := []string{"complete", "regular:8", fmt.Sprintf("gnp:%g", 16.0/float64(n)), "torus", "cycle"}
+	for _, spec := range specs {
+		g, err := topo.Build(spec, n, rng.New(seed^hashName(spec)))
+		if err != nil {
+			panic(fmt.Sprintf("expt: E14 build %q at n=%d: %v", spec, n, err))
+		}
 		type out struct {
 			rounds float64
 			conv   bool
 			share  float64
 		}
-		results := ParallelReps(p, p.Reps, seed+hashName(b.name), func(rep int, r *rng.Rand) out {
-			g := b.mk(r)
+		results := ParallelReps(p, p.Reps, seed+hashName(spec), func(rep int, r *rng.Rand) out {
 			e := engine.NewGraphEngine(dynamics.ThreeMajority{}, g,
-				colorcfg.Biased(n, k, bias), 2, seed^uint64(rep)<<8^hashName(b.name), r)
+				colorcfg.Biased(n, k, bias), 2, seed^uint64(rep)<<8^hashName(spec), r)
 			defer e.Close()
 			res := core.Run(e, core.Options{MaxRounds: limit, Rand: r})
 			first, _ := res.Final.TopTwo()
@@ -148,7 +145,7 @@ func runE14(p Profile, seed uint64) []*Table {
 			rounds += o.rounds / float64(len(results))
 			share += o.share / float64(len(results))
 		}
-		t.AddRow(b.name, fmt.Sprintf("%d/%d", conv, len(results)), fmtF(rounds), fmtF(share))
+		t.AddRow(spec, fmt.Sprintf("%d/%d", conv, len(results)), fmtF(rounds), fmtF(share))
 	}
 	return []*Table{t}
 }

@@ -82,7 +82,7 @@ func TestParallelRepsDeterministic(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
-		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
+		"E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
 	got := map[string]bool{}
 	for _, e := range All() {
 		got[e.ID] = true

@@ -219,6 +219,19 @@ func (g Star) SampleNeighbor(v int64, r *rng.Rand) int64 {
 }
 
 // ----- adjacency-list graphs (random regular, Erdős–Rényi) -----
+//
+// Determinism contract: NewRandomRegular and NewErdosRenyi draw every bit
+// of randomness from the caller's *rng.Rand and nothing else (no maps are
+// ranged over, no scheduling enters), so for a fixed seed the generated
+// graph — offsets and adjacency arrays both — is byte-identical across
+// runs, machines, and worker counts. Callers that persist records derived
+// from a generated graph (e.g. service JobSpecs) must treat the generator
+// seed as part of the record identity.
+//
+// These constructors remain for the legacy engine path and the golden
+// traces pinned to their historical byte streams; new code should build
+// topologies through the internal/topo registry, whose CSR store adds
+// serialization, more families, and the engine's direct-slice fast path.
 
 // AdjList is a general adjacency-list graph used by the random
 // constructions. CSR layout: the neighbors of v are

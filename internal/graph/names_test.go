@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"slices"
 	"strings"
 	"testing"
 
@@ -25,6 +26,33 @@ func TestNames(t *testing.T) {
 	er := NewErdosRenyi(10, 0.5, r)
 	if !strings.HasPrefix(er.Name(), "gnp(") {
 		t.Errorf("ER name %q", er.Name())
+	}
+}
+
+// TestGeneratorsByteDeterministic pins the documented determinism
+// contract: for a fixed seed the random constructions are byte-identical
+// across runs — offsets and adjacency arrays both — and different seeds
+// produce different graphs. Service records and sweep cells rely on this
+// to stay pure functions of their specs.
+func TestGeneratorsByteDeterministic(t *testing.T) {
+	equal := func(a, b *AdjList) bool {
+		return slices.Equal(a.Offsets, b.Offsets) && slices.Equal(a.Adj, b.Adj)
+	}
+	regA := NewRandomRegular(500, 6, rng.New(11))
+	regB := NewRandomRegular(500, 6, rng.New(11))
+	if !equal(regA, regB) {
+		t.Error("NewRandomRegular not byte-identical for a fixed seed")
+	}
+	if equal(regA, NewRandomRegular(500, 6, rng.New(12))) {
+		t.Error("NewRandomRegular ignores the seed")
+	}
+	erA := NewErdosRenyi(500, 0.02, rng.New(21))
+	erB := NewErdosRenyi(500, 0.02, rng.New(21))
+	if !equal(erA, erB) {
+		t.Error("NewErdosRenyi not byte-identical for a fixed seed")
+	}
+	if equal(erA, NewErdosRenyi(500, 0.02, rng.New(22))) {
+		t.Error("NewErdosRenyi ignores the seed")
 	}
 }
 

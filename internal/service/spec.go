@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
-	"strings"
+	"sync"
 
 	"plurality/internal/colorcfg"
 	"plurality/internal/core"
@@ -14,6 +14,7 @@ import (
 	"plurality/internal/graph"
 	"plurality/internal/mc"
 	"plurality/internal/rng"
+	"plurality/internal/topo"
 )
 
 // Resource caps enforced by JobSpec.Validate. They bound what a single
@@ -35,8 +36,10 @@ const (
 	// (sampled, population).
 	MaxNSampled = 100_000_000
 	// MaxNGraph bounds n for the graph engine, which materializes per-agent
-	// color state (and, for regular/gnp, an O(n·d) adjacency list).
-	MaxNGraph = 1_000_000
+	// color state; the per-family adjacency memory is capped separately by
+	// topo.MaxAdjEntries inside the registry validation. The CSR-sharded
+	// engine sustains rounds at this scale in well under 2 GB.
+	MaxNGraph = 10_000_000
 	// DefaultMaxRounds is applied when a spec omits max_rounds.
 	DefaultMaxRounds = 200_000
 )
@@ -58,9 +61,16 @@ type JobSpec struct {
 	// graph | population. The stateful rules (2choices-keepown, undecided)
 	// carry their own engines and require auto.
 	Engine string `json:"engine,omitempty"`
-	// Graph is the topology for Engine == "graph": complete | cycle |
-	// torus | star | regular:D | gnp:P.
+	// Graph is the topology spec for Engine == "graph", resolved through
+	// the internal/topo registry (topo.FamilyUsages lists the families:
+	// complete, cycle, star, torus[:DIMS], hypercube, regular:D, gnp:P,
+	// smallworld:K:BETA, ba:M, sbm:B:PIN:POUT, barbell:D).
 	Graph string `json:"graph,omitempty"`
+	// GraphSeed seeds the topology generator for Engine == "graph". All
+	// replicates of a job share the one graph built from it (quenched
+	// randomness: the Monte Carlo averages over process noise on a fixed
+	// structure). Zero means "derive from Seed" (see Normalize).
+	GraphSeed uint64 `json:"graph_seed,omitempty"`
 	// N is the number of agents.
 	N int64 `json:"n"`
 	// K is the number of colors.
@@ -87,6 +97,9 @@ func (s *JobSpec) Normalize() {
 	}
 	if s.Graph == "" {
 		s.Graph = "complete"
+	}
+	if s.GraphSeed == 0 {
+		s.GraphSeed = s.Seed
 	}
 	if s.Bias == "" {
 		s.Bias = "auto"
@@ -141,48 +154,15 @@ func (s *JobSpec) resolveEngine() (string, error) {
 	return eng, nil
 }
 
-// checkGraph validates the Graph field against the graph constructors'
-// panicking preconditions so a bad topology is a 400, not a crash. The
-// cap guard comes first: it keeps the torus side search and the
-// regular-graph parity arithmetic below safely bounded (no int64
-// overflow, no linear-in-√n spin on a hostile n).
+// checkGraph validates the Graph field through the topo registry so a bad
+// topology is a 400, not a crash. The n cap comes first: it bounds every
+// number the registry's constant-time validation arithmetic sees, so a
+// hostile spec can neither overflow nor spin.
 func (s *JobSpec) checkGraph() error {
 	if s.N < 1 || s.N > MaxNGraph {
 		return fmt.Errorf("graph engine needs n in [1, %d], got %d", MaxNGraph, s.N)
 	}
-	g := s.Graph
-	switch {
-	case g == "complete", g == "cycle", g == "star":
-		return nil
-	case g == "torus":
-		side := int64(1)
-		for side*side < s.N {
-			side++
-		}
-		if side*side != s.N {
-			return fmt.Errorf("graph torus needs a square n, got %d", s.N)
-		}
-		return nil
-	case strings.HasPrefix(g, "regular:"):
-		d, err := strconv.Atoi(strings.TrimPrefix(g, "regular:"))
-		if err != nil || d < 1 {
-			return fmt.Errorf("bad degree in graph %q", g)
-		}
-		if int64(d) >= s.N {
-			return fmt.Errorf("graph %q needs degree < n = %d", g, s.N)
-		}
-		if s.N*int64(d)%2 != 0 {
-			return fmt.Errorf("graph %q needs n·d even", g)
-		}
-		return nil
-	case strings.HasPrefix(g, "gnp:"):
-		p, err := strconv.ParseFloat(strings.TrimPrefix(g, "gnp:"), 64)
-		if err != nil || p < 0 || p > 1 {
-			return fmt.Errorf("bad p in graph %q (want [0,1])", g)
-		}
-		return nil
-	}
-	return fmt.Errorf("unknown graph %q", g)
+	return topo.Validate(s.Graph, s.N)
 }
 
 // biasValue parses the Bias field; "auto" resolves to the Corollary 1
@@ -259,7 +239,9 @@ func (s *JobSpec) Name() string {
 	name := fmt.Sprintf("%s/%s/n=%d/k=%d/bias=%s/rounds=%d/seed=%d",
 		s.Rule, eng, s.N, s.K, s.Bias, s.MaxRounds, s.Seed)
 	if eng == "graph" {
-		name = fmt.Sprintf("%s/graph=%s", name, s.Graph)
+		// The generator seed is part of the identity: the same spec with
+		// a different graph_seed runs on a different quenched topology.
+		name = fmt.Sprintf("%s/graph=%s/gseed=%d", name, s.Graph, s.GraphSeed)
 	}
 	return name
 }
@@ -284,8 +266,9 @@ func (s *JobSpec) Cost() int64 {
 // buildEngine constructs the replicate's engine. The spec must have
 // passed Validate; r is the replicate's private generator (graph layout
 // and engine seeds draw from it, keeping the replicate a pure function of
-// its seed).
-func (s *JobSpec) buildEngine(init colorcfg.Config, r *rng.Rand) engine.Engine {
+// its seed), and g is the job's shared quenched topology (nil for
+// non-graph engines).
+func (s *JobSpec) buildEngine(init colorcfg.Config, g graph.Graph, r *rng.Rand) engine.Engine {
 	if s.Rule == "undecided" {
 		return engine.NewUndecidedExact(init)
 	}
@@ -310,35 +293,20 @@ func (s *JobSpec) buildEngine(init colorcfg.Config, r *rng.Rand) engine.Engine {
 	case "population":
 		return engine.NewPopulation(rule, init)
 	case "graph":
-		return engine.NewGraphEngine(rule, s.mustGraph(r), init, 1, r.Uint64(), r)
+		return engine.NewGraphEngine(rule, g, init, 1, r.Uint64(), r)
 	}
 	panic(fmt.Sprintf("service: unreachable engine %q", eng))
 }
 
-// mustGraph builds the validated topology.
-func (s *JobSpec) mustGraph(r *rng.Rand) graph.Graph {
-	g := s.Graph
-	switch {
-	case g == "complete":
-		return graph.NewComplete(s.N)
-	case g == "cycle":
-		return graph.NewCycle(s.N)
-	case g == "star":
-		return graph.NewStar(s.N)
-	case g == "torus":
-		side := int64(1)
-		for side*side < s.N {
-			side++
-		}
-		return graph.NewTorus(side, side)
-	case strings.HasPrefix(g, "regular:"):
-		d, _ := strconv.Atoi(strings.TrimPrefix(g, "regular:"))
-		return graph.NewRandomRegular(s.N, d, r)
-	case strings.HasPrefix(g, "gnp:"):
-		p, _ := strconv.ParseFloat(strings.TrimPrefix(g, "gnp:"), 64)
-		return graph.NewErdosRenyi(s.N, p, r)
+// mustGraph builds the validated topology from GraphSeed. CSR structures
+// are read-only during stepping, so one instance is safely shared by all
+// concurrently running replicates of a job.
+func (s *JobSpec) mustGraph() graph.Graph {
+	g, err := topo.Build(s.Graph, s.N, rng.New(s.GraphSeed))
+	if err != nil {
+		panic(fmt.Sprintf("service: mustGraph on unvalidated spec: %v", err))
 	}
-	panic(fmt.Sprintf("service: unreachable graph %q", g))
+	return g
 }
 
 // MCJob compiles the spec into the mc.Job executed on the worker pool.
@@ -355,12 +323,24 @@ func (s *JobSpec) MCJob() mc.Job {
 		Replicates: spec.Replicates,
 		MaxRounds:  spec.MaxRounds,
 	}
+	// The quenched topology is built once, lazily (on the first replicate
+	// that needs it, off the admission path), and shared by every
+	// replicate: graph generation can dominate a short job, and the
+	// structure is immutable during stepping.
+	var sharedGraph func() graph.Graph
+	if eng, err := spec.resolveEngine(); err == nil && eng == "graph" {
+		sharedGraph = sync.OnceValue(spec.mustGraph)
+	}
 	job.New = func(seed uint64) mc.Run {
 		maxRounds := job.MaxRounds
 		return func() mc.Record {
 			r := rng.New(seed)
 			init := colorcfg.Biased(spec.N, spec.K, bias)
-			eng := spec.buildEngine(init, r)
+			var g graph.Graph
+			if sharedGraph != nil {
+				g = sharedGraph()
+			}
+			eng := spec.buildEngine(init, g, r)
 			defer eng.Close()
 			res := core.Run(eng, core.Options{MaxRounds: maxRounds, Rand: r})
 			return mc.Record{Rounds: res.Rounds, Success: res.WonInitialPlurality}

@@ -40,6 +40,12 @@ func TestValidateAcceptsEveryEngine(t *testing.T) {
 		func(s *JobSpec) { s.Engine = "graph"; s.Graph = "torus"; s.N = 10_000 },
 		func(s *JobSpec) { s.Engine = "graph"; s.Graph = "regular:4" },
 		func(s *JobSpec) { s.Engine = "graph"; s.Graph = "gnp:0.001"; s.N = 2000 },
+		func(s *JobSpec) { s.Engine = "graph"; s.Graph = "smallworld:6:0.1" },
+		func(s *JobSpec) { s.Engine = "graph"; s.Graph = "ba:3" },
+		func(s *JobSpec) { s.Engine = "graph"; s.Graph = "sbm:4:0.01:0.001" },
+		func(s *JobSpec) { s.Engine = "graph"; s.Graph = "barbell:4" },
+		func(s *JobSpec) { s.Engine = "graph"; s.Graph = "hypercube"; s.N = 8192 },
+		func(s *JobSpec) { s.Engine = "graph"; s.Graph = "torus:3"; s.N = 27_000 },
 		func(s *JobSpec) { s.Rule = "hplurality:5" }, // auto → sampled
 		func(s *JobSpec) { s.Rule = "median" },
 		func(s *JobSpec) { s.Rule = "undecided" },
@@ -72,11 +78,17 @@ func TestValidateRejects(t *testing.T) {
 		{func(s *JobSpec) { s.Rule = "hplurality:3"; s.Engine = "multinomial" }, "closed-form"},
 		{func(s *JobSpec) { s.Rule = "undecided"; s.Engine = "sampled" }, "its own engine"},
 		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "moebius" }, "unknown graph"},
-		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "torus"; s.N = 10 }, "square"},
-		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "regular:0" }, "bad degree"},
+		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "torus"; s.N = 10 }, "side"},
+		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "regular:0" }, "outside"},
 		{func(s *JobSpec) { s.N = 5; s.K = 2; s.Engine = "graph"; s.Graph = "regular:5" }, "degree < n"},
 		{func(s *JobSpec) { s.N = 5; s.K = 2; s.Engine = "graph"; s.Graph = "regular:3" }, "even"},
-		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "gnp:1.5" }, "bad p"},
+		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "gnp:1.5" }, "outside"},
+		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "smallworld:3:0.1" }, "even"},
+		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "sbm:2:0.1" }, "three parameters"},
+		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "hypercube"; s.N = 1000 }, "power of two"},
+		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "ba:4"; s.N = 4 }, "M+1"},
+		// The adjacency-entry cap holds even under the raised n ceiling.
+		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "regular:100"; s.N = MaxNGraph }, "cap"},
 		{func(s *JobSpec) { s.Bias = "-1" }, "bias"},
 		{func(s *JobSpec) { s.Bias = "1000000000" }, "bias"},
 		{func(s *JobSpec) { s.Bias = "lots" }, "bad bias"},
@@ -126,6 +138,9 @@ func TestNameCoversDistinguishingFields(t *testing.T) {
 		func(s *JobSpec) { s.Seed = 8 },
 		func(s *JobSpec) { s.MaxRounds = 99 },
 		func(s *JobSpec) { s.Engine = "graph"; s.Graph = "cycle" },
+		// Same topology, different generator seed → different quenched
+		// graph → must be a different job identity.
+		func(s *JobSpec) { s.Engine = "graph"; s.Graph = "cycle"; s.GraphSeed = 99; s.Normalize() },
 	}
 	seen := map[string]bool{base.Name(): true}
 	for i, mutate := range mutations {

@@ -10,6 +10,7 @@ import (
 	"plurality/internal/engine"
 	"plurality/internal/graph"
 	"plurality/internal/rng"
+	"plurality/internal/topo"
 )
 
 // goldenFS embeds the committed traces so consumers outside the package
@@ -105,6 +106,18 @@ func StandardGoldenSpecs() []GoldenSpec {
 					graph.NewRandomRegular(init.N(), 8, rng.New(r.Uint64())), init, 2, r.Uint64(), layout)
 			},
 			Initial: colorcfg.Biased(64, 4, 16), Rounds: 15, Seed: 1007,
+		},
+		{
+			Name: "graph-smallworld-w2-3majority-n64-k3",
+			NewEngine: func(init colorcfg.Config, r *rng.Rand) engine.Engine {
+				g, err := topo.Build("smallworld:6:0.2", init.N(), rng.New(r.Uint64()))
+				if err != nil {
+					panic(fmt.Sprintf("golden smallworld build: %v", err))
+				}
+				layout := rng.New(r.Uint64())
+				return engine.NewGraphEngine(dynamics.ThreeMajority{}, g, init, 2, r.Uint64(), layout)
+			},
+			Initial: colorcfg.Biased(64, 3, 12), Rounds: 15, Seed: 1011,
 		},
 		{
 			Name: "markov-2choiceskeepown-n90-k3",

@@ -1,0 +1,137 @@
+package validate
+
+import (
+	"fmt"
+	"slices"
+
+	"plurality/internal/colorcfg"
+	"plurality/internal/dynamics"
+	"plurality/internal/engine"
+	"plurality/internal/rng"
+	"plurality/internal/topo"
+)
+
+// GraphContractSpec is one topology-contract certification: a registry
+// spec resolved through internal/topo, exercised end to end against the
+// invariants the CSR port must preserve.
+type GraphContractSpec struct {
+	// Spec is the topo registry spec ("smallworld:6:0.1", ...).
+	Spec string
+	// N is the vertex count.
+	N int64
+	// K and Bias shape the initial configuration Biased(N, K, Bias).
+	K    int
+	Bias int64
+	// Rounds is the number of synchronous 3-majority rounds executed.
+	Rounds int
+	// Workers is the CSR engine's shard count.
+	Workers int
+	// Seed drives both the generator and the run.
+	Seed uint64
+}
+
+// StandardGraphSpecs covers every family the topo registry added beyond
+// the legacy set, at sizes the quick tier afford.
+func StandardGraphSpecs() []GraphContractSpec {
+	mk := func(spec string, n int64) GraphContractSpec {
+		return GraphContractSpec{Spec: spec, N: n, K: 3, Bias: n / 6, Rounds: 8, Workers: 2, Seed: 7101}
+	}
+	return []GraphContractSpec{
+		mk("smallworld:6:0.1", 600),
+		mk("ba:3", 600),
+		mk("sbm:3:0.05:0.005", 600),
+		mk("hypercube", 512),
+		mk("torus:3", 512), // 8×8×8
+		mk("barbell:4", 600),
+		mk("regular:8", 600),
+		mk("gnp:0.02", 600),
+	}
+}
+
+// CheckGraphContract certifies one topology spec: the registry resolves
+// and rebuilds it reproducibly (byte-identical CSR per seed), the built
+// structure satisfies the handshake invariant, and the CSR-sharded
+// GraphEngine agrees byte for byte, round for round, with the generic
+// interface path over the same structure (the representation-independence
+// contract: both consume one Int63n(degree) per sample). Conservation
+// (Σc = n) is checked every round on both paths.
+func CheckGraphContract(spec GraphContractSpec, opts Options) CheckResult {
+	opts = opts.withDefaults()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = spec.Seed
+	}
+	res := CheckResult{
+		Name: fmt.Sprintf("graph-contract/%s/n=%d/w=%d", spec.Spec, spec.N, spec.Workers),
+		Kind: "graph-contract",
+		Seed: seed,
+		Pass: true,
+	}
+	fail := func(format string, args ...any) CheckResult {
+		res.Pass = false
+		res.Detail = fmt.Sprintf(format, args...)
+		return res
+	}
+
+	g, err := topo.Build(spec.Spec, spec.N, rng.New(seed))
+	if err != nil {
+		return fail("build: %v", err)
+	}
+	if g.N() != spec.N {
+		return fail("built %d vertices, want %d", g.N(), spec.N)
+	}
+	csr, isCSR := g.(*topo.CSR)
+	if isCSR {
+		// Generator determinism: the registry must reproduce the graph
+		// byte for byte from the same seed.
+		g2, err := topo.Build(spec.Spec, spec.N, rng.New(seed))
+		if err != nil {
+			return fail("rebuild: %v", err)
+		}
+		csr2 := g2.(*topo.CSR)
+		if !slices.Equal(csr.Offsets, csr2.Offsets) || !slices.Equal(csr.Neighbors, csr2.Neighbors) {
+			return fail("generator not byte-deterministic for seed %d", seed)
+		}
+		// Handshake: every undirected edge contributes exactly two
+		// adjacency entries.
+		var degreeSum int64
+		for v := int64(0); v < csr.N(); v++ {
+			degreeSum += csr.Degree(v)
+		}
+		if degreeSum != int64(len(csr.Neighbors)) || degreeSum != 2*csr.Edges() {
+			return fail("handshake violated: Σdeg=%d, entries=%d", degreeSum, len(csr.Neighbors))
+		}
+	}
+
+	init := colorcfg.Biased(spec.N, spec.K, spec.Bias)
+	fast := engine.NewGraphEngine(dynamics.ThreeMajority{}, g, init, spec.Workers, seed^0x9e3779b9, rng.New(seed+1))
+	defer fast.Close()
+	slow := engine.NewGraphEngine(dynamics.ThreeMajority{}, opaqueGraph{g}, init, spec.Workers, seed^0x9e3779b9, rng.New(seed+1))
+	defer slow.Close()
+	for round := 1; round <= spec.Rounds; round++ {
+		fast.Step(nil)
+		slow.Step(nil)
+		cf, cs := fast.Config(), slow.Config()
+		if err := cf.Validate(spec.N); err != nil {
+			return fail("round %d: conservation violated: %v", round, err)
+		}
+		if !cf.Equal(cs) {
+			return fail("round %d: CSR path diverged from interface path: %v vs %v", round, cf, cs)
+		}
+	}
+	res.Replicates = spec.Rounds
+	return res
+}
+
+// CertifyGraphContracts runs CheckGraphContract over a family of specs.
+func CertifyGraphContracts(specs []GraphContractSpec, opts Options) []CheckResult {
+	out := make([]CheckResult, 0, len(specs))
+	for i, spec := range specs {
+		o := opts
+		if o.Seed != 0 {
+			o.Seed = opts.Seed + uint64(i)*101
+		}
+		out = append(out, CheckGraphContract(spec, o))
+	}
+	return out
+}
