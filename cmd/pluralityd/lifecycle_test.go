@@ -1,0 +1,346 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"plurality/internal/service"
+)
+
+// TestMain doubles as the daemon entry point for the subprocess
+// lifecycle tests: when re-executed with PLURALITYD_TEST_CHILD=1 the
+// test binary runs main() — real flags, real signal handling, real
+// os.Exit — so the tests below exercise the exact code path a
+// production SIGTERM or SIGKILL hits.
+func TestMain(m *testing.M) {
+	if os.Getenv("PLURALITYD_TEST_CHILD") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one pluralityd child process under test.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string        // http://host:port
+	exited chan struct{} // closed once the child has been reaped
+	stderr *bytes.Buffer
+}
+
+// startDaemon re-executes the test binary as pluralityd with the given
+// extra flags, waits for its "listening on" line, and returns a handle.
+func startDaemon(t *testing.T, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "PLURALITYD_TEST_CHILD=1")
+	pipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, exited: make(chan struct{}), stderr: &bytes.Buffer{}}
+	t.Cleanup(func() { cmd.Process.Kill(); <-d.exited })
+
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			d.stderr.WriteString(line + "\n")
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.Index(rest, " "); j >= 0 {
+					select {
+					case addrc <- rest[:j]:
+					default:
+					}
+				}
+			}
+		}
+		cmd.Wait()
+		close(d.exited)
+	}()
+	select {
+	case addr := <-addrc:
+		d.base = "http://" + addr
+	case <-d.exited:
+		t.Fatalf("daemon exited before listening: %v\n%s", cmd.ProcessState, d.stderr.Bytes())
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never announced its address\n%s", d.stderr.Bytes())
+	}
+	return d
+}
+
+// wait blocks until the child exits and returns its exit code.
+func (d *daemon) wait(t *testing.T) int {
+	t.Helper()
+	select {
+	case <-d.exited:
+		return d.cmd.ProcessState.ExitCode()
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon did not exit\n%s", d.stderr.Bytes())
+		return -1
+	}
+}
+
+func (d *daemon) signal(t *testing.T, sig os.Signal) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// slowJob is a spec whose replicates take long enough that a signal
+// lands while the job is demonstrably mid-flight: bias "0" never
+// resolves, so every replicate runs all max_rounds rounds.
+const slowJob = `{"rule": "3majority", "engine": "sampled", "n": 50000, "k": 2,
+	"bias": "0", "seed": 21, "replicates": 100, "max_rounds": 30}`
+
+func postJSON(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func getInfo(t *testing.T, base, id string) service.JobInfo {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info service.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// waitRecords polls until the job has at least n records, returning the
+// latest info.
+func waitRecords(t *testing.T, base, id string, n int) service.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		info := getInfo(t, base, id)
+		if info.Records >= n || info.State.Terminal() {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck at %d records", id, info.Records)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func waitTerminal(t *testing.T, base, id string) service.JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		info := getInfo(t, base, id)
+		if info.State.Terminal() {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %+v", id, info)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func getRecords(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/records")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("records fetch: status %d err %v", resp.StatusCode, err)
+	}
+	return b
+}
+
+// TestSIGKILLRestartResumes is the tentpole claim end to end: kill -9 a
+// daemon mid-job, restart it on the same data dir, and the job — same
+// ID — finishes with a record stream byte-identical to a run that was
+// never interrupted.
+func TestSIGKILLRestartResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+
+	d := startDaemon(t, "-data-dir", dir, "-workers", "2")
+	status, body := postJSON(t, d.base+"/v1/jobs", slowJob)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d body %s", status, body)
+	}
+	var sub service.JobInfo
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	info := waitRecords(t, d.base, sub.ID, 3)
+	if info.State.Terminal() {
+		t.Fatalf("job finished before the kill; use a slower spec (%+v)", info)
+	}
+	d.signal(t, syscall.SIGKILL)
+	if code := d.wait(t); code == 0 {
+		t.Fatal("SIGKILL produced exit code 0")
+	}
+
+	d2 := startDaemon(t, "-data-dir", dir, "-workers", "2")
+	info = waitTerminal(t, d2.base, sub.ID)
+	if info.State != service.StateDone || info.ID != sub.ID {
+		t.Fatalf("resumed job: %+v", info)
+	}
+	got := getRecords(t, d2.base, sub.ID)
+
+	// Baseline: the same spec run in-process, never interrupted.
+	svc, err := service.New(service.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	status, body = postJSON(t, ts.URL+"/v1/jobs", slowJob)
+	if status != http.StatusAccepted {
+		t.Fatalf("baseline submit: status %d body %s", status, body)
+	}
+	var ref service.JobInfo
+	if err := json.Unmarshal(body, &ref); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, ts.URL, ref.ID)
+	want := getRecords(t, ts.URL, ref.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed records diverge from crash-free run: %d vs %d bytes", len(got), len(want))
+	}
+}
+
+// TestSIGTERMDrainsAndExitsZero: one SIGTERM refuses new work, finishes
+// the drain, writes the clean-shutdown marker as the journal's final
+// entry, and exits 0.
+func TestSIGTERMDrainsAndExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	d := startDaemon(t, "-data-dir", dir, "-drain-timeout", "30s")
+
+	// A quick job that completes before the drain, so the journal has
+	// real content under the marker.
+	status, body := postJSON(t, d.base+"/v1/jobs?wait=1",
+		`{"n": 100000, "k": 8, "seed": 1, "replicates": 3, "max_rounds": 2000}`)
+	if status != http.StatusOK {
+		t.Fatalf("sync job: status %d body %s", status, body)
+	}
+
+	d.signal(t, syscall.SIGTERM)
+	if code := d.wait(t); code != 0 {
+		t.Fatalf("graceful shutdown exited %d\n%s", code, d.stderr.Bytes())
+	}
+
+	meta, err := os.ReadFile(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(meta), "\n"), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"shutdown"`) {
+		t.Fatalf("journal's last line is %q, want the clean-shutdown marker", last)
+	}
+}
+
+// TestDoubleSIGTERMForcesExit: a second signal during a long drain
+// abandons it immediately with exit code 1, leaving the journal dirty.
+func TestDoubleSIGTERMForcesExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	// One worker and a spec whose single replicate runs for seconds
+	// (agent-level engine, large n, bias "0" so it never resolves): the
+	// drain must wait for it, keeping the daemon alive for the second
+	// signal. The drain deadline itself is far longer than the test.
+	d := startDaemon(t, "-data-dir", dir, "-workers", "1", "-drain-timeout", "5m")
+	status, body := postJSON(t, d.base+"/v1/jobs",
+		`{"rule": "3majority", "engine": "sampled", "n": 10000000, "k": 2,
+		  "bias": "0", "seed": 7, "replicates": 4, "max_rounds": 2000}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d body %s", status, body)
+	}
+	var sub service.JobInfo
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the replicate is actually executing.
+	deadline := time.Now().Add(30 * time.Second)
+	for getInfo(t, d.base, sub.ID).State != service.StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	d.signal(t, syscall.SIGTERM)
+	// healthz keeps answering during the drain; wait for the flag so the
+	// second signal provably lands mid-drain.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(d.base + "/healthz")
+		var h struct {
+			Draining bool `json:"draining"`
+		}
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+		}
+		if err == nil && h.Draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never reported draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d.signal(t, syscall.SIGTERM)
+	if code := d.wait(t); code != 1 {
+		t.Fatalf("forced shutdown exited %d, want 1\n%s", code, d.stderr.Bytes())
+	}
+
+	// The journal was left dirty: a replay does not read clean, so the
+	// next start resumes the interrupted job.
+	meta, err := os.ReadFile(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(meta), `"shutdown"`) {
+		t.Fatal("forced exit still wrote the clean-shutdown marker")
+	}
+}

@@ -5,7 +5,7 @@
 // cmd/sweep) it keeps the alloc-free engines and the replicate-parallel
 // pool hot across requests.
 //
-//	pluralityd -addr :8080 -workers 8 -executors 2 -backlog 16
+//	pluralityd -addr :8080 -workers 8 -executors 2 -backlog 16 -data-dir /var/lib/pluralityd
 //
 //	# submit a job and wait for the result
 //	curl -s 'localhost:8080/v1/jobs?wait=1' -d '{"n": 100000, "k": 8, "seed": 1, "replicates": 20}'
@@ -17,8 +17,16 @@
 //
 // Results are deterministic: a job's JSONL records are a pure function of
 // its spec (see internal/service), so replaying a spec — on any -workers
-// setting — reproduces the bytes. See DESIGN.md §6 for the job lifecycle
-// and backpressure contract.
+// setting — reproduces the bytes. With -data-dir the determinism extends
+// across crashes: jobs are journaled, a restarted daemon resumes every
+// interrupted job from its completed replicate prefix, and the final
+// record stream is byte-identical to a crash-free run (DESIGN.md §9).
+//
+// Shutdown is two-stage: the first SIGTERM/SIGINT starts a graceful
+// drain (new submissions get 503 + Retry-After, in-flight replicates
+// finish, the journal gets its clean-shutdown marker) bounded by
+// -drain-timeout; a second signal forces an immediate exit(1), leaving
+// the journal dirty so the next start replays exactly as after a crash.
 package main
 
 import (
@@ -39,17 +47,29 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "replicate-pool parallelism (0 = GOMAXPROCS)")
-		executors = flag.Int("executors", 2, "async jobs executing concurrently")
-		backlog   = flag.Int("backlog", 16, "async jobs admitted beyond the executing ones (full backlog = HTTP 429)")
-		maxSync   = flag.Int("max-sync", 4, "synchronous submissions executing concurrently")
-		syncCost  = flag.Int64("sync-cost", 0, "cost threshold for the auto-sync path in agent updates (0 = default)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "replicate-pool parallelism (0 = GOMAXPROCS)")
+		executors    = flag.Int("executors", 2, "async jobs executing concurrently")
+		backlog      = flag.Int("backlog", 16, "async jobs admitted beyond the executing ones (full backlog = HTTP 429)")
+		maxSync      = flag.Int("max-sync", 4, "synchronous submissions executing concurrently")
+		syncCost     = flag.Int64("sync-cost", 0, "cost threshold for the auto-sync path in agent updates (0 = default)")
+		dataDir      = flag.String("data-dir", "", "journal directory for crash-survivable jobs (empty = in-memory only)")
+		retain       = flag.Int("retain", 0, "terminal jobs kept in memory before LRU eviction (0 = default 1024, negative = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline after the first SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		cancel()
+		<-sigc
+		log.Print("pluralityd: second signal — exiting without draining")
+		os.Exit(1)
+	}()
 
 	if err := run(ctx, *addr, service.Options{
 		Workers:   *workers,
@@ -57,32 +77,41 @@ func main() {
 		Backlog:   *backlog,
 		MaxSync:   *maxSync,
 		SyncCost:  *syncCost,
-	}); err != nil {
+		DataDir:   *dataDir,
+		Retain:    *retain,
+	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "pluralityd:", err)
 		os.Exit(1)
 	}
 }
 
 // run binds the listener and serves until ctx is cancelled.
-func run(ctx context.Context, addr string, opts service.Options) error {
+func run(ctx context.Context, addr string, opts service.Options, drainTimeout time.Duration) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	return serve(ctx, ln, opts)
+	return serve(ctx, ln, opts, drainTimeout)
 }
 
-// serve serves until ctx is cancelled, then drains: the listener stops
-// accepting, in-flight handlers get a grace period, and the service
-// cancels every job (in-flight replicates finish; see mc.Pool).
-func serve(ctx context.Context, ln net.Listener, opts service.Options) error {
-	svc := service.New(opts)
+// serve serves until ctx is cancelled, then drains gracefully: new
+// submissions are refused with 503 while the status endpoints keep
+// answering, every job is cancelled so in-flight replicates finish and
+// are journaled, and — within drainTimeout — the journal is closed with
+// its clean-shutdown marker. On a blown deadline the marker is withheld
+// and the next start replays the journal exactly as after a crash.
+func serve(ctx context.Context, ln net.Listener, opts service.Options, drainTimeout time.Duration) error {
+	svc, err := service.New(opts)
+	if err != nil {
+		ln.Close()
+		return err
+	}
 	httpSrv := &http.Server{Handler: svc}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("pluralityd: listening on %s (workers=%d executors=%d backlog=%d)",
-			ln.Addr(), opts.Workers, opts.Executors, opts.Backlog)
+		log.Printf("pluralityd: listening on %s (workers=%d executors=%d backlog=%d data-dir=%q)",
+			ln.Addr(), opts.Workers, opts.Executors, opts.Backlog, opts.DataDir)
 		errc <- httpSrv.Serve(ln)
 	}()
 
@@ -92,10 +121,17 @@ func serve(ctx context.Context, ln net.Listener, opts service.Options) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Print("pluralityd: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	log.Printf("pluralityd: draining (submissions get 503, deadline %s)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	err := httpSrv.Shutdown(shutdownCtx)
+	if err := svc.Drain(drainCtx); err != nil {
+		// The journal stays dirty on purpose: the next start resumes the
+		// jobs this drain could not finish.
+		log.Printf("pluralityd: %v (journal left dirty; next start resumes)", err)
+	} else {
+		log.Print("pluralityd: drained cleanly")
+	}
+	err = httpSrv.Shutdown(drainCtx)
 	svc.Close()
 	if errors.Is(err, context.DeadlineExceeded) {
 		// Stragglers (e.g. a follow stream on a job that never ends) are

@@ -24,7 +24,7 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, service.Options{Workers: 2}) }()
+	go func() { done <- serve(ctx, ln, service.Options{Workers: 2}, 10*time.Second) }()
 	base := "http://" + ln.Addr().String()
 
 	var resp *http.Response

@@ -105,10 +105,22 @@ func run(ctx context.Context, cfg config) error {
 		if cfg.format != "jsonl" || cfg.out == "" {
 			return errors.New("-resume requires -format jsonl and -out FILE")
 		}
-		var err error
-		done, err = mc.ReadResumeFile(cfg.out)
+		var (
+			err   error
+			valid int64
+			torn  bool
+		)
+		done, valid, torn, err = mc.ReadResumePrefix(cfg.out)
 		if err != nil {
 			return err
+		}
+		if torn {
+			// A crash mid-write left a torn trailing line. Drop it before
+			// appending — the lost replicate is re-executed deterministically.
+			fmt.Fprintf(os.Stderr, "sweep: %s has a torn trailing write; truncating to %d bytes and re-running the lost replicate\n", cfg.out, valid)
+			if err := os.Truncate(cfg.out, valid); err != nil {
+				return err
+			}
 		}
 	}
 	if cfg.out == "" {

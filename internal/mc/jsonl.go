@@ -2,6 +2,7 @@ package mc
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -22,8 +23,9 @@ func AppendRecord(w io.Writer, rec Record) error {
 }
 
 // ReadRecords parses a JSONL record stream. Blank lines are skipped; a
-// malformed line is an error (a file truncated mid-line must be repaired
-// before resuming, so a resumed grid never silently drops replicates).
+// malformed line is an error. Callers that need to survive a crash
+// mid-write (a torn trailing line) use ScanRecords / ReadResumePrefix
+// instead, which recover the valid prefix.
 func ReadRecords(r io.Reader) ([]Record, error) {
 	var out []Record
 	sc := bufio.NewScanner(r)
@@ -64,21 +66,85 @@ func GroupByJob(recs []Record) map[string]map[int]Record {
 	return out
 }
 
-// ReadResumeFile loads a JSONL file written by a previous (interrupted)
-// grid run and groups it for RunOpts.Done. A missing file is not an
-// error: it returns an empty index, so "-resume" also starts fresh grids.
-func ReadResumeFile(path string) (map[string]map[int]Record, error) {
-	f, err := os.Open(path)
+// ScanRecords parses the longest valid prefix of a JSONL record buffer.
+// A line counts only when it is complete (newline-terminated) and
+// unmarshals as a Record; blank lines are skipped but stay part of the
+// prefix. Scanning stops at the first line that fails either test — the
+// shape a crash mid-write leaves behind — without error. ends[i] is the
+// byte offset just past record i's line, so a caller can truncate a
+// damaged file to any record boundary; the valid prefix length is
+// ends[len(ends)-1] (or 0 with no records, modulo leading blank lines).
+func ScanRecords(data []byte) (recs []Record, ends []int64) {
+	var off int64
+	for int(off) < len(data) {
+		rest := data[off:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			break // incomplete final line: a torn trailing write
+		}
+		line := rest[:nl]
+		if len(bytes.TrimSpace(line)) > 0 {
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				break
+			}
+			recs = append(recs, rec)
+			ends = append(ends, off+int64(nl)+1)
+		}
+		off += int64(nl) + 1
+	}
+	return recs, ends
+}
+
+// ValidPrefix reports the byte length of the valid record prefix found
+// by ScanRecords (0 when the buffer holds no complete record).
+func ValidPrefix(ends []int64) int64 {
+	if len(ends) == 0 {
+		return 0
+	}
+	return ends[len(ends)-1]
+}
+
+// ReadResumePrefix loads a JSONL file written by a previous (interrupted)
+// grid run, tolerating a torn trailing write: the records of the valid
+// prefix are grouped for RunOpts.Done, valid is the prefix's byte length
+// (the offset to truncate the file to before appending), and torn
+// reports whether a damaged tail was skipped. A missing file yields an
+// empty index. A damaged line *followed by further well-formed records*
+// is not a torn write but genuine corruption, and is an error: silently
+// dropping interior replicates could split a grid across two files.
+func ReadResumePrefix(path string) (done map[string]map[int]Record, valid int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return map[string]map[int]Record{}, nil
+			return map[string]map[int]Record{}, 0, false, nil
 		}
-		return nil, err
+		return nil, 0, false, err
 	}
-	defer f.Close()
-	recs, err := ReadRecords(f)
-	if err != nil {
-		return nil, fmt.Errorf("mc: resume file %s: %v", path, err)
+	recs, ends := ScanRecords(data)
+	valid = ValidPrefix(ends)
+	if int(valid) < len(data) {
+		torn = true
+		for _, line := range bytes.Split(data[valid:], []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var rec Record
+			if json.Unmarshal(line, &rec) == nil && rec != (Record{}) {
+				return nil, 0, false, fmt.Errorf("mc: resume file %s: corrupt record at byte %d followed by well-formed records; repair the file before resuming", path, valid)
+			}
+		}
 	}
-	return GroupByJob(recs), nil
+	return GroupByJob(recs), valid, torn, nil
+}
+
+// ReadResumeFile loads a JSONL file written by a previous (interrupted)
+// grid run and groups it for RunOpts.Done. A missing file is not an
+// error: it returns an empty index, so "-resume" also starts fresh
+// grids. A torn trailing line (crash mid-write) is skipped — the lost
+// replicate is simply re-executed; use ReadResumePrefix to also learn
+// the truncation offset.
+func ReadResumeFile(path string) (map[string]map[int]Record, error) {
+	done, _, _, err := ReadResumePrefix(path)
+	return done, err
 }

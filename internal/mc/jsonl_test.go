@@ -1,0 +1,207 @@
+package mc
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeRecords renders records as the JSONL AppendRecord produces.
+func writeRecords(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		if err := AppendRecord(&buf, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func sampleRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Job: "grid/a", Rep: i, Seed: uint64(1000 + i), Rounds: 10 + i, Success: i%2 == 0}
+	}
+	return recs
+}
+
+func TestScanRecordsCleanFile(t *testing.T) {
+	recs := sampleRecords(4)
+	data := writeRecords(t, recs)
+	got, ends := ScanRecords(data)
+	if len(got) != 4 || ValidPrefix(ends) != int64(len(data)) {
+		t.Fatalf("clean file: %d records, valid %d, want 4 and %d", len(got), ValidPrefix(ends), len(data))
+	}
+	for i, rec := range got {
+		if rec != recs[i] {
+			t.Fatalf("record %d round-tripped to %+v", i, rec)
+		}
+	}
+	// Each end offset is a line boundary: the byte before it is '\n'.
+	for i, end := range ends {
+		if data[end-1] != '\n' {
+			t.Fatalf("ends[%d]=%d is not a line boundary", i, end)
+		}
+	}
+}
+
+// TestScanRecordsTruncationEveryOffset is the torn-write exhaustiveness
+// proof: truncating the file at *every* byte offset of the last record
+// must yield exactly the first m-1 records and a valid prefix that ends
+// where record m-1's line does, so a resumed run re-executes only the
+// replicate whose write was torn.
+func TestScanRecordsTruncationEveryOffset(t *testing.T) {
+	recs := sampleRecords(5)
+	data := writeRecords(t, recs)
+	_, fullEnds := ScanRecords(data)
+	lastStart := fullEnds[len(fullEnds)-2] // byte where the last record's line begins
+	for cut := lastStart; cut < int64(len(data)); cut++ {
+		got, ends := ScanRecords(data[:cut])
+		if len(got) != len(recs)-1 {
+			t.Fatalf("cut at byte %d: %d records, want %d", cut, len(got), len(recs)-1)
+		}
+		if ValidPrefix(ends) != lastStart {
+			t.Fatalf("cut at byte %d: valid prefix %d, want %d", cut, ValidPrefix(ends), lastStart)
+		}
+	}
+}
+
+func TestScanRecordsStopsAtGarbage(t *testing.T) {
+	data := writeRecords(t, sampleRecords(3))
+	valid := int64(len(data))
+	data = append(data, []byte("{\"rep\": 3, \"seed\"")...) // torn mid-key
+	got, ends := ScanRecords(data)
+	if len(got) != 3 || ValidPrefix(ends) != valid {
+		t.Fatalf("torn tail: %d records, valid %d, want 3 and %d", len(got), ValidPrefix(ends), valid)
+	}
+	// A complete but malformed line stops the scan too.
+	data = append(writeRecords(t, sampleRecords(2)), []byte("not json\n")...)
+	data = append(data, writeRecords(t, sampleRecords(1))...)
+	got, ends = ScanRecords(data)
+	if len(got) != 2 {
+		t.Fatalf("garbage line: scanned %d records, want 2", len(got))
+	}
+	_ = ends
+}
+
+func TestReadResumePrefixTornTail(t *testing.T) {
+	dir := t.TempDir()
+	recs := sampleRecords(4)
+	data := writeRecords(t, recs)
+	full := int64(len(data))
+	path := filepath.Join(dir, "grid.jsonl")
+
+	// Clean file: everything indexed, nothing torn.
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done, valid, torn, err := ReadResumePrefix(path)
+	if err != nil || torn || valid != full || len(done["grid/a"]) != 4 {
+		t.Fatalf("clean: done=%d valid=%d torn=%v err=%v", len(done["grid/a"]), valid, torn, err)
+	}
+
+	// Torn tail: last record half-written.
+	_, ends := ScanRecords(data)
+	cut := ends[2] + 7
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done, valid, torn, err = ReadResumePrefix(path)
+	if err != nil {
+		t.Fatalf("torn tail errored: %v", err)
+	}
+	if !torn || valid != ends[2] || len(done["grid/a"]) != 3 {
+		t.Fatalf("torn: done=%d valid=%d torn=%v", len(done["grid/a"]), valid, torn)
+	}
+
+	// ReadResumeFile shares the tolerance.
+	if done, err := ReadResumeFile(path); err != nil || len(done["grid/a"]) != 3 {
+		t.Fatalf("ReadResumeFile on torn file: done=%d err=%v", len(done["grid/a"]), err)
+	}
+
+	// Interior corruption followed by well-formed records is NOT a torn
+	// write and must still refuse to resume.
+	bad := append([]byte{}, data[:ends[1]]...)
+	bad = append(bad, []byte("garbage line\n")...)
+	bad = append(bad, data[ends[1]:]...)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadResumePrefix(path); err == nil {
+		t.Fatal("interior corruption did not error")
+	}
+
+	// Missing file: empty index, no error.
+	done, valid, torn, err = ReadResumePrefix(filepath.Join(dir, "absent.jsonl"))
+	if err != nil || torn || valid != 0 || len(done) != 0 {
+		t.Fatalf("missing file: done=%d valid=%d torn=%v err=%v", len(done), valid, torn, err)
+	}
+}
+
+// TestResumeAfterTornWriteReExecutesOnlyMissing wires a torn file back
+// through RunOpts.Done and checks the run recomputes exactly the
+// replicates that were lost, leaving the final stream byte-identical to
+// an uninterrupted run.
+func TestResumeAfterTornWriteReExecutesOnlyMissing(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	job := Job{Name: "grid/a", Seed: 9, Replicates: 6,
+		New: func(seed uint64) Run {
+			return func() Record { return Record{Rounds: int(seed % 97), Success: seed%2 == 0} }
+		}}
+	var want bytes.Buffer
+	if _, err := pool.Run(t.Context(), job, RunOpts{Sink: func(r Record) error { return AppendRecord(&want, r) }}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the file inside record 4: records 0..3 survive.
+	_, ends := ScanRecords(want.Bytes())
+	path := filepath.Join(t.TempDir(), "grid.jsonl")
+	if err := os.WriteFile(path, want.Bytes()[:ends[4]-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	done, valid, torn, err := ReadResumePrefix(path)
+	if err != nil || !torn {
+		t.Fatalf("prefix: torn=%v err=%v", torn, err)
+	}
+	if err := os.Truncate(path, valid); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	_, err = pool.Run(t.Context(), job, RunOpts{
+		Done: done[job.Name],
+		Sink: func(r Record) error { ran++; return AppendRecord(f, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("resume re-executed %d replicates, want 2 (reps 4 and 5)", ran)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("resumed file differs from uninterrupted run:\n got %q\nwant %q", got, want.Bytes())
+	}
+}
+
+func TestScanRecordsSkipsBlankLines(t *testing.T) {
+	data := []byte(fmt.Sprintf("\n%s\n\n%s\n",
+		`{"job":"g","rep":0,"seed":1,"rounds":2}`, `{"job":"g","rep":1,"seed":2,"rounds":3}`))
+	recs, ends := ScanRecords(data)
+	if len(recs) != 2 || ValidPrefix(ends) != int64(len(data)) {
+		t.Fatalf("blank lines: %d records, valid %d of %d", len(recs), ValidPrefix(ends), len(data))
+	}
+}

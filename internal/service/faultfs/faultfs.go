@@ -1,0 +1,321 @@
+// Package faultfs is an in-memory filesystem with scriptable fault
+// injection, built to prove the crash-recovery claims of the
+// internal/service journal. It implements the service.FS seam and
+// models exactly the failure surface the journal's durability contract
+// is written against:
+//
+//   - Crash() — power cut: returns the disk image the cut would leave
+//     behind, with every byte not covered by a Sync lost; CrashKeep(n)
+//     additionally keeps n unsynced bytes per file, which is how a
+//     torn trailing write is manufactured.
+//   - FailWrites / FailSyncs — transient or permanent I/O errors on
+//     the nth matching operation, optionally landing a partial write
+//     first (interior torn write), to drive the journal's
+//     retry-with-repair path.
+//   - Corrupt — in-place byte flips, for bit-rot and tampered-journal
+//     scenarios.
+//
+// A test restarts the service on the post-crash disk image by calling
+// service.New again with the FS that Crash returned; the dying
+// server's goroutines keep writing to the old FS, and — exactly like
+// the writes of a SIGKILLed process that never reached the platter —
+// none of it lands on the image the restart sees.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"plurality/internal/service"
+)
+
+// ErrInjected is the error every scripted fault returns.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// fault is one armed write/sync failure.
+type fault struct {
+	substr  string // operations on paths containing this arm the fault
+	nth     int    // 1-based countdown among matching operations
+	times   int    // how many consecutive operations fail once armed
+	partial int    // bytes of a failing write that still land (torn write)
+}
+
+// file is one in-memory file: data is what a reader sees now, synced is
+// the prefix guaranteed to survive a Crash.
+type file struct {
+	data   []byte
+	synced int
+}
+
+// FS is the fault-injecting filesystem. The zero value is not usable;
+// call New.
+type FS struct {
+	mu         sync.Mutex
+	files      map[string]*file
+	dirs       map[string]bool
+	writeFault []*fault
+	syncFault  []*fault
+
+	// Writes and Syncs count every attempted operation, for tests that
+	// want to assert how much work the journal performed.
+	writes int
+	syncs  int
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{files: map[string]*file{}, dirs: map[string]bool{}}
+}
+
+// --- service.FS implementation ---
+
+// MkdirAll records the directory; in-memory files don't need parents,
+// but tests can assert the journal created its layout.
+func (fs *FS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.dirs[path.Clean(dir)] = true
+	return nil
+}
+
+// OpenAppend opens p for appending, creating it if missing.
+func (fs *FS) OpenAppend(p string) (service.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	p = path.Clean(p)
+	if fs.files[p] == nil {
+		fs.files[p] = &file{}
+	}
+	return &appendFile{fs: fs, path: p}, nil
+}
+
+// ReadFile returns a copy of the file's current content; a missing file
+// satisfies os.IsNotExist.
+func (fs *FS) ReadFile(p string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[path.Clean(p)]
+	if f == nil {
+		return nil, &os.PathError{Op: "open", Path: p, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Truncate cuts the file to size (missing files satisfy os.IsNotExist).
+func (fs *FS) Truncate(p string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[path.Clean(p)]
+	if f == nil {
+		return &os.PathError{Op: "truncate", Path: p, Err: os.ErrNotExist}
+	}
+	if size < int64(len(f.data)) {
+		f.data = f.data[:size]
+	}
+	if int64(f.synced) > size {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+// Remove deletes the file (missing files satisfy os.IsNotExist).
+func (fs *FS) Remove(p string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	p = path.Clean(p)
+	if fs.files[p] == nil {
+		return &os.PathError{Op: "remove", Path: p, Err: os.ErrNotExist}
+	}
+	delete(fs.files, p)
+	return nil
+}
+
+// appendFile is one open append handle.
+type appendFile struct {
+	fs     *FS
+	path   string
+	closed bool
+}
+
+func (a *appendFile) Write(p []byte) (int, error) {
+	a.fs.mu.Lock()
+	defer a.fs.mu.Unlock()
+	a.fs.writes++
+	f := a.fs.files[a.path]
+	if a.closed || f == nil {
+		return 0, fmt.Errorf("faultfs: write to closed or removed %s", a.path)
+	}
+	if ft := trigger(&a.fs.writeFault, a.path); ft != nil {
+		keep := min(ft.partial, len(p))
+		f.data = append(f.data, p[:keep]...)
+		return keep, fmt.Errorf("write %s: %w", a.path, ErrInjected)
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (a *appendFile) Sync() error {
+	a.fs.mu.Lock()
+	defer a.fs.mu.Unlock()
+	a.fs.syncs++
+	f := a.fs.files[a.path]
+	if a.closed || f == nil {
+		return fmt.Errorf("faultfs: sync of closed or removed %s", a.path)
+	}
+	if ft := trigger(&a.fs.syncFault, a.path); ft != nil {
+		return fmt.Errorf("sync %s: %w", a.path, ErrInjected)
+	}
+	f.synced = len(f.data)
+	return nil
+}
+
+func (a *appendFile) Close() error {
+	a.fs.mu.Lock()
+	defer a.fs.mu.Unlock()
+	a.closed = true
+	return nil
+}
+
+// trigger advances every armed fault matching p and returns the first
+// one whose countdown hit zero, consuming one of its failure repeats.
+func trigger(faults *[]*fault, p string) *fault {
+	var fired *fault
+	kept := (*faults)[:0]
+	for _, ft := range *faults {
+		if !strings.Contains(p, ft.substr) {
+			kept = append(kept, ft)
+			continue
+		}
+		if fired == nil {
+			ft.nth--
+			if ft.nth <= 0 {
+				fired = ft
+				ft.times--
+				ft.nth = 1 // stay armed for the next matching op
+				if ft.times <= 0 {
+					continue // exhausted: drop it
+				}
+			}
+		}
+		kept = append(kept, ft)
+	}
+	*faults = kept
+	return fired
+}
+
+// --- fault scripting ---
+
+// FailWrites arms a write fault: among future writes to paths
+// containing substr, the nth (1-based) and the times-1 after it fail
+// with ErrInjected after landing partial bytes each. times <= 1 means a
+// single transient failure; a large times models a permanently broken
+// disk.
+func (fs *FS) FailWrites(substr string, nth, times, partial int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if nth < 1 {
+		nth = 1
+	}
+	if times < 1 {
+		times = 1
+	}
+	fs.writeFault = append(fs.writeFault, &fault{substr: substr, nth: nth, times: times, partial: partial})
+}
+
+// FailSyncs arms a sync fault analogous to FailWrites.
+func (fs *FS) FailSyncs(substr string, nth, times int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if nth < 1 {
+		nth = 1
+	}
+	if times < 1 {
+		times = 1
+	}
+	fs.syncFault = append(fs.syncFault, &fault{substr: substr, nth: nth, times: times})
+}
+
+// ClearFaults disarms every scripted fault.
+func (fs *FS) ClearFaults() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.writeFault, fs.syncFault = nil, nil
+}
+
+// --- crash simulation ---
+
+// Crash simulates a power cut, returning the disk image it leaves
+// behind: a fresh FS in which every file is truncated to its synced
+// prefix. The receiver stays usable, so a still-running server being
+// "killed" keeps writing to it without affecting the image a restart
+// boots from.
+func (fs *FS) Crash() *FS { return fs.CrashKeep(0) }
+
+// CrashKeep is Crash, except each file keeps up to extra unsynced bytes
+// — the deterministic way to manufacture a torn trailing write.
+func (fs *FS) CrashKeep(extra int) *FS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	post := New()
+	for p, f := range fs.files {
+		keep := min(f.synced+extra, len(f.data))
+		post.files[p] = &file{data: append([]byte(nil), f.data[:keep]...), synced: keep}
+	}
+	for d := range fs.dirs {
+		post.dirs[d] = true
+	}
+	return post
+}
+
+// --- inspection and tampering ---
+
+// Bytes returns a copy of the file's current content (nil if missing).
+func (fs *FS) Bytes(p string) []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[path.Clean(p)]
+	if f == nil {
+		return nil
+	}
+	return append([]byte(nil), f.data...)
+}
+
+// Corrupt overwrites the file's bytes at off in place (bit rot, or a
+// tampered journal); offsets beyond EOF are ignored.
+func (fs *FS) Corrupt(p string, off int64, b []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[path.Clean(p)]
+	if f == nil {
+		return
+	}
+	for i, c := range b {
+		if at := off + int64(i); at >= 0 && at < int64(len(f.data)) {
+			f.data[at] = c
+		}
+	}
+}
+
+// Paths lists every existing file, sorted, for layout assertions.
+func (fs *FS) Paths() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counts reports the attempted write and sync operations so far.
+func (fs *FS) Counts() (writes, syncs int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writes, fs.syncs
+}

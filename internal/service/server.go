@@ -17,12 +17,20 @@
 //
 // API (all request/response bodies are JSON):
 //
-//	POST   /v1/jobs              submit (202 queued, 200 sync-done, 400, 429)
+//	POST   /v1/jobs              submit (202 queued, 200 sync-done, 400, 429, 503 draining)
 //	GET    /v1/jobs              list all jobs
 //	GET    /v1/jobs/{id}         poll one job
 //	GET    /v1/jobs/{id}/records JSONL records; ?follow=1 streams until terminal
 //	POST   /v1/jobs/{id}/cancel  cancel a queued or running job
-//	GET    /healthz              liveness + queue depth
+//	DELETE /v1/jobs/{id}         delete a terminal job and its records
+//	GET    /healthz              liveness + queue depth + draining flag
+//
+// With Options.DataDir set the server is crash-survivable: submissions,
+// state transitions and per-replicate records are journaled to disk, a
+// restarted server replays the journal and resumes every non-terminal
+// job from its completed replicate prefix, and — because records are a
+// pure function of the spec — the resumed record stream is
+// byte-identical to a crash-free run. See journal.go and DESIGN.md §9.
 package service
 
 import (
@@ -32,6 +40,8 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"plurality/internal/mc"
 )
@@ -54,6 +64,30 @@ type Options struct {
 	// submission without an explicit ?wait runs synchronously
 	// (<= 0: 50_000_000 agent updates).
 	SyncCost int64
+
+	// DataDir, when non-empty, makes the server durable: jobs and
+	// records are journaled there and replayed on the next start (see
+	// journal.go for the layout and the durability contract). Empty
+	// keeps the pre-existing in-memory-only behavior.
+	DataDir string
+	// Retain caps the terminal jobs kept in memory with full records;
+	// beyond it the least-recently-touched are evicted to tombstones
+	// (records stay servable from the journal). 0 means the default
+	// 1024; negative means unlimited.
+	Retain int
+	// FS overrides the journal's filesystem (fault injection); nil
+	// means the real filesystem.
+	FS FS
+	// SyncEvery is the number of record appends between fsyncs of a
+	// job's records file (0: 16; 1 syncs every append). Terminal
+	// transitions always sync regardless.
+	SyncEvery int
+	// JournalRetries is the attempt budget for transient journal write
+	// failures before a job latches to failed (0: 3).
+	JournalRetries int
+	// JournalBackoff is the initial retry backoff, doubled per attempt
+	// (0: 2ms).
+	JournalBackoff time.Duration
 }
 
 // withDefaults resolves the zero values.
@@ -72,6 +106,21 @@ func (o Options) withDefaults() Options {
 	if o.SyncCost <= 0 {
 		o.SyncCost = 50_000_000
 	}
+	if o.Retain == 0 {
+		o.Retain = 1024
+	}
+	if o.FS == nil {
+		o.FS = osFS{}
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 16
+	}
+	if o.JournalRetries <= 0 {
+		o.JournalRetries = 3
+	}
+	if o.JournalBackoff <= 0 {
+		o.JournalBackoff = 2 * time.Millisecond
+	}
 	return o
 }
 
@@ -79,19 +128,26 @@ func (o Options) withDefaults() Options {
 // it. Create one with New, serve it (it implements http.Handler), and
 // Close it after the HTTP server has stopped accepting requests.
 type Server struct {
-	opts    Options
-	pool    *mc.Pool
-	queue   *mc.Queue
-	store   *store
-	mux     *http.ServeMux
-	baseCtx context.Context
-	stop    context.CancelFunc
-	syncSem chan struct{}
-	once    sync.Once
+	opts     Options
+	pool     *mc.Pool
+	queue    *mc.Queue
+	store    *store
+	jr       *journal // nil without DataDir
+	mux      *http.ServeMux
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	syncSem  chan struct{}
+	syncWG   sync.WaitGroup
+	draining atomic.Bool
+	once     sync.Once
 }
 
 // New builds a Server on the process-wide mc.Shared(opts.Workers) pool.
-func New(opts Options) *Server {
+// With opts.DataDir set it replays the journal found there and
+// re-enqueues every non-terminal job before returning; the error is
+// non-nil only on real I/O failures (corrupt journals are recovered by
+// truncation, never fatal).
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	pool := mc.Shared(opts.Workers)
 	ctx, stop := context.WithCancel(context.Background())
@@ -99,7 +155,7 @@ func New(opts Options) *Server {
 		opts:    opts,
 		pool:    pool,
 		queue:   mc.NewQueue(pool, opts.Executors, opts.Backlog),
-		store:   newStore(),
+		store:   newStore(opts.Retain),
 		baseCtx: ctx,
 		stop:    stop,
 		syncSem: make(chan struct{}, opts.MaxSync),
@@ -110,9 +166,21 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
-	return s
+	if opts.DataDir != "" {
+		jr, rs, err := openJournal(opts.FS, opts.DataDir,
+			opts.SyncEvery, retryPolicy{attempts: opts.JournalRetries, backoff: opts.JournalBackoff})
+		if err != nil {
+			s.queue.Close()
+			stop()
+			return nil, err
+		}
+		s.jr = jr
+		s.restore(rs)
+	}
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -120,14 +188,55 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// StartDrain flips the server into draining mode: new submissions are
+// refused with 503 + Retry-After while the existing endpoints keep
+// serving. Idempotent.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether the server is refusing new submissions.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully winds the server down: it stops admitting (503),
+// cancels every job so in-flight replicates finish and are journaled,
+// waits — bounded by ctx — for the executors and synchronous handlers
+// to drain, and then journals the clean-shutdown marker. Cancelled jobs
+// are *not* journaled as terminal: a restart replays them from their
+// completed replicate prefix. On a ctx deadline the marker is withheld,
+// so the next start replays exactly as it would after a crash.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	s.store.cancelAll()
+	done := make(chan struct{})
+	go func() {
+		s.queue.Close()
+		s.syncWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain: %w", ctx.Err())
+	}
+	if s.jr != nil {
+		s.jr.close(true)
+	}
+	return nil
+}
+
 // Close cancels every job and stops the executors. It must be called
 // after the HTTP listener has shut down; the shared worker pool itself
-// stays alive for the rest of the process.
+// stays alive for the rest of the process. Without a prior successful
+// Drain the journal is closed *without* the clean-shutdown marker, so
+// interrupted jobs replay on the next start.
 func (s *Server) Close() {
 	s.once.Do(func() {
+		s.draining.Store(true)
 		s.stop()
 		s.store.cancelAll()
 		s.queue.Close()
+		if s.jr != nil {
+			s.jr.close(false)
+		}
 	})
 }
 
@@ -147,6 +256,11 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // handleSubmit decodes, validates and routes one submission.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit after the restart")
+		return
+	}
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -186,6 +300,8 @@ func (s *Server) submitSync(w http.ResponseWriter, r *http.Request, spec JobSpec
 		writeError(w, http.StatusTooManyRequests, "all %d synchronous slots are busy; retry or submit with wait=0", s.opts.MaxSync)
 		return
 	}
+	s.syncWG.Add(1)
+	defer s.syncWG.Done()
 	// The job dies with the client connection or with server shutdown,
 	// whichever comes first.
 	ctx, cancel := context.WithCancel(r.Context())
@@ -194,9 +310,16 @@ func (s *Server) submitSync(w http.ResponseWriter, r *http.Request, spec JobSpec
 	defer stopWatch()
 
 	j := s.store.create(spec, cancel)
+	j.syncPath = true
+	if err := s.journalSubmit(j); err != nil {
+		s.store.remove(j.id)
+		writeError(w, http.StatusInternalServerError, "could not journal the submission: %v", err)
+		return
+	}
 	j.setRunning()
-	_, err := s.pool.Run(ctx, spec.MCJob(), mc.RunOpts{Sink: j.appendRecord})
-	j.finish(err)
+	s.journalRunning(j)
+	_, err := s.pool.Run(ctx, spec.MCJob(), mc.RunOpts{Sink: s.jobSink(j)})
+	s.finishJob(j, err)
 	info := j.info()
 	status := http.StatusOK
 	if info.State == StateFailed {
@@ -206,15 +329,23 @@ func (s *Server) submitSync(w http.ResponseWriter, r *http.Request, spec JobSpec
 }
 
 // submitAsync admits the job into the queue, rolling the registration
-// back with a 429 when the backlog is full.
+// back with a 429 when the backlog is full. The submission is journaled
+// before admission, so an acknowledged job can never be forgotten; a
+// rejected one is journaled as deleted.
 func (s *Server) submitAsync(w http.ResponseWriter, spec JobSpec) {
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := s.store.create(spec, cancel)
+	if err := s.journalSubmit(j); err != nil {
+		cancel()
+		s.store.remove(j.id)
+		writeError(w, http.StatusInternalServerError, "could not journal the submission: %v", err)
+		return
+	}
 	admitted := s.queue.TryEnqueue(ctx, spec.MCJob(), mc.RunOpts{
-		Sink:    j.appendRecord,
-		OnStart: func() { j.setRunning() },
+		Sink:    s.jobSink(j),
+		OnStart: func() { j.setRunning(); s.journalRunning(j) },
 	}, func(_ []mc.Record, err error) {
-		j.finish(err)
+		s.finishJob(j, err)
 		// Release the context registration on baseCtx; without this every
 		// finished job would stay reachable until server shutdown.
 		cancel()
@@ -222,6 +353,7 @@ func (s *Server) submitAsync(w http.ResponseWriter, spec JobSpec) {
 	if !admitted {
 		cancel()
 		s.store.remove(j.id)
+		s.journalDelete(j.id)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "job backlog is full (%d executors, %d queued); retry later", s.opts.Executors, s.opts.Backlog)
 		return
@@ -250,15 +382,19 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.store.touch(j.id)
 	writeJSON(w, http.StatusOK, j.info())
 }
 
-// handleRecords streams the job's JSONL records.
+// handleRecords streams the job's JSONL records. Evicted jobs are
+// served straight from the journal; without one the records are gone
+// for good (410).
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobOr404(w, r)
 	if !ok {
 		return
 	}
+	s.store.touch(j.id)
 	follow := false
 	if v := r.URL.Query().Get("follow"); v != "" {
 		b, err := strconv.ParseBool(v)
@@ -267,6 +403,20 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		follow = b
+	}
+	if j.isEvicted() {
+		if s.jr == nil {
+			writeError(w, http.StatusGone, "records of %s were evicted from memory; run with -data-dir to keep them durable", j.id)
+			return
+		}
+		raw, err := s.jr.readRecords(j.id)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "reading journaled records of %s: %v", j.id, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		_, _ = w.Write(raw)
+		return
 	}
 	w.Header().Set("Content-Type", "application/jsonl")
 	var flush func()
@@ -283,15 +433,38 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	j.requestCancel()
+	if j.requestCancel(true) {
+		// A still-queued job turned terminal right here; running jobs
+		// journal their terminal state from the executor's finish path.
+		s.journalTerminal(j, StateCancelled, context.Canceled.Error())
+		s.store.noteTerminal(j.id)
+	}
 	writeJSON(w, http.StatusOK, j.info())
 }
 
-// handleHealthz reports liveness and queue depth.
+// handleDelete removes a terminal job and its journaled records.
+// Non-terminal jobs are a 409: cancel first, then delete.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	found, deleted := s.store.deleteTerminal(id)
+	if !found {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if !deleted {
+		writeError(w, http.StatusConflict, "job %s is not terminal; cancel it before deleting", id)
+		return
+	}
+	s.journalDelete(id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleHealthz reports liveness, queue depth and drain status.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"workers": s.pool.Workers(),
-		"backlog": s.queue.Backlog(),
+		"status":   "ok",
+		"workers":  s.pool.Workers(),
+		"backlog":  s.queue.Backlog(),
+		"draining": s.draining.Load(),
 	})
 }

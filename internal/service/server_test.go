@@ -18,7 +18,10 @@ import (
 // the right order (listener first, then job machinery).
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		s.store.cancelAll() // unblock in-flight handlers before closing the listener

@@ -61,12 +61,22 @@ type jobState struct {
 	id     string
 	spec   JobSpec
 	cancel context.CancelFunc
+	// syncPath marks jobs running on a request goroutine: their lifetime
+	// is the request's, so shutdown cancellation is terminal for them.
+	syncPath bool
 
 	mu    sync.Mutex
 	cond  *sync.Cond
 	state State
 	recs  []mc.Record
 	err   error
+	// userCancel records that cancellation was requested through the API
+	// (as opposed to server drain/shutdown, which must stay resumable).
+	userCancel bool
+	// evicted jobs have dropped their records to bound memory; tomb is
+	// the terminal snapshot that keeps the info endpoint serving.
+	evicted bool
+	tomb    *JobInfo
 }
 
 // newJobState builds a queued job.
@@ -97,11 +107,13 @@ func (j *jobState) appendRecord(rec mc.Record) error {
 }
 
 // finish moves the job to its terminal state from the run's outcome.
-func (j *jobState) finish(err error) {
+// It reports the state it settled on and whether this call performed
+// the transition (false when the job was already terminal).
+func (j *jobState) finish(err error) (State, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
-		return
+		return j.state, false
 	}
 	switch {
 	case err == nil:
@@ -114,25 +126,87 @@ func (j *jobState) finish(err error) {
 		j.err = err
 	}
 	j.cond.Broadcast()
+	return j.state, true
 }
 
 // requestCancel cancels the job's context; a still-queued job is marked
-// cancelled immediately so polls never see it running afterwards.
-func (j *jobState) requestCancel() {
+// cancelled immediately so polls never see it running afterwards (the
+// return value reports that immediate transition). user distinguishes
+// an API cancellation (terminal, journaled) from server drain/shutdown
+// (resumable: the job replays after a restart).
+func (j *jobState) requestCancel(user bool) bool {
 	j.mu.Lock()
+	if user {
+		j.userCancel = true
+	}
+	transitioned := false
 	if j.state == StateQueued {
 		j.state = StateCancelled
 		j.err = context.Canceled
 		j.cond.Broadcast()
+		transitioned = true
 	}
 	j.mu.Unlock()
 	j.cancel()
+	return transitioned
+}
+
+// userCancelled reports whether cancellation came through the API.
+func (j *jobState) userCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.userCancel
+}
+
+// adopt restores replayed state: the already-journaled record prefix
+// and, for terminal jobs, the final state. Called before the job is
+// visible to any handler or executor.
+func (j *jobState) adopt(recs []mc.Record, st State, errmsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.recs = recs
+	if st.Terminal() {
+		j.state = st
+		if errmsg != "" {
+			j.err = errors.New(errmsg)
+		}
+	}
+}
+
+// evict drops a terminal job's records to bound memory, leaving a
+// tombstone snapshot (aggregate included) for the info endpoints. The
+// records themselves stay servable from the journal. No-op on
+// non-terminal jobs.
+func (j *jobState) evict() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() || j.evicted {
+		return
+	}
+	info := j.infoLocked()
+	j.tomb = &info
+	j.recs = nil
+	j.evicted = true
+}
+
+// isEvicted reports whether the job's records were dropped from memory.
+func (j *jobState) isEvicted() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.evicted
 }
 
 // info snapshots the job for the status API.
 func (j *jobState) info() JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.infoLocked()
+}
+
+func (j *jobState) infoLocked() JobInfo {
+	if j.evicted {
+		return *j.tomb
+	}
 	info := JobInfo{
 		ID:      j.id,
 		State:   j.state,
@@ -202,16 +276,20 @@ func (j *jobState) streamRecords(ctx context.Context, w io.Writer, follow bool, 
 
 // store tracks all jobs the server has accepted, in submission order. Job
 // IDs are a deterministic counter ("j1", "j2", …) so a replayed request
-// sequence produces an identical API surface.
+// sequence produces an identical API surface. Terminal jobs are bounded:
+// beyond retain of them, the least-recently-touched are evicted to
+// tombstones (their records stay servable from the journal).
 type store struct {
-	mu    sync.Mutex
-	jobs  map[string]*jobState
-	order []string
-	next  int
+	mu     sync.Mutex
+	jobs   map[string]*jobState
+	order  []string
+	next   int
+	retain int // max non-evicted terminal jobs; <= 0 means unlimited
+	lru    []string
 }
 
-func newStore() *store {
-	return &store{jobs: map[string]*jobState{}}
+func newStore(retain int) *store {
+	return &store{jobs: map[string]*jobState{}, retain: retain}
 }
 
 // create registers a new queued job.
@@ -224,6 +302,85 @@ func (s *store) create(spec JobSpec, cancel context.CancelFunc) *jobState {
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	return j
+}
+
+// restore re-registers a replayed job under its original ID, keeping the
+// ID counter ahead of every restored job. Only called during New, before
+// any request can race it.
+func (s *store) restore(id string, spec JobSpec, cancel context.CancelFunc) *jobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int
+	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > s.next {
+		s.next = n
+	}
+	j := newJobState(id, spec, cancel)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j
+}
+
+// noteTerminal registers a terminal transition with the retention LRU,
+// evicting the least-recently-touched terminal jobs beyond the cap.
+func (s *store) noteTerminal(id string) {
+	s.mu.Lock()
+	var evict []*jobState
+	if _, ok := s.jobs[id]; ok {
+		s.lru = append(s.lru, id)
+	}
+	if s.retain > 0 {
+		for len(s.lru) > s.retain {
+			if j, ok := s.jobs[s.lru[0]]; ok {
+				evict = append(evict, j)
+			}
+			s.lru = s.lru[1:]
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range evict {
+		j.evict()
+	}
+}
+
+// touch refreshes a job's position in the retention LRU.
+func (s *store) touch(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, other := range s.lru {
+		if other == id {
+			s.lru = append(append(s.lru[:i:i], s.lru[i+1:]...), id)
+			return
+		}
+	}
+}
+
+// deleteTerminal removes a terminal job entirely. It reports whether the
+// job existed and, if so, whether it was terminal (non-terminal jobs are
+// not deletable — cancel first).
+func (s *store) deleteTerminal(id string) (found, deleted bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false, false
+	}
+	if !j.info().State.Terminal() {
+		return true, false
+	}
+	delete(s.jobs, id)
+	for i, other := range s.order {
+		if other == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	for i, other := range s.lru {
+		if other == id {
+			s.lru = append(s.lru[:i], s.lru[i+1:]...)
+			break
+		}
+	}
+	return true, true
 }
 
 // remove forgets a job that was never admitted (queue-full rollback), so
@@ -273,6 +430,6 @@ func (s *store) cancelAll() {
 	}
 	s.mu.Unlock()
 	for _, j := range jobs {
-		j.requestCancel()
+		j.requestCancel(false)
 	}
 }
