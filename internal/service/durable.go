@@ -96,6 +96,11 @@ func (s *Server) finishJob(j *jobState, err error) {
 // crash-free run. A job the queue cannot re-admit latches to failed
 // with an explicit error instead of vanishing.
 func (s *Server) restore(rs *replayState) {
+	// Seed the ID counter from the highest ID the journal has ever seen,
+	// not just the replayed (non-deleted) jobs: reusing a deleted job's
+	// ID would put its submit entry after the old delete entry, and the
+	// next replay would silently drop the acknowledged job.
+	s.store.setNext(rs.next)
 	for _, rj := range rs.jobs {
 		if rj.state.Terminal() {
 			j := s.store.restore(rj.id, rj.spec, func() {})

@@ -501,6 +501,81 @@ func TestDeleteEndpoint(t *testing.T) {
 	}
 }
 
+// TestDeletedIDNeverReused is the regression for the ID-reuse hole:
+// deleting the highest-ID job and restarting must not hand that ID to a
+// new submission — the reused ID's submit entry would sit after the old
+// delete entry in the journal, and the next replay would silently drop
+// the acknowledged job.
+func TestDeletedIDNeverReused(t *testing.T) {
+	fs := faultfs.New()
+	s1, ts1 := boot(t, durableOpts(fs))
+	status, info, raw := submit(t, ts1, resumableSpec(), "?wait=1")
+	if status != http.StatusOK {
+		t.Fatalf("submit: status %d (%s)", status, raw)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts1.URL+"/v1/jobs/"+info.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE %s: status %d", info.ID, resp.StatusCode)
+	}
+	ts1.Close()
+	s1.Close()
+
+	s2, ts2 := boot(t, durableOpts(fs))
+	status, info2, raw := submit(t, ts2, resumableSpec(), "?wait=1")
+	if status != http.StatusOK {
+		t.Fatalf("post-restart submit: status %d (%s)", status, raw)
+	}
+	if info2.ID == info.ID {
+		t.Fatalf("new submission reused deleted job's ID %s", info.ID)
+	}
+	ts2.Close()
+	s2.Close()
+
+	// The acknowledged job survives the next replay intact.
+	s3, ts3 := boot(t, durableOpts(fs))
+	defer func() { ts3.Close(); s3.Close() }()
+	if got := jobInfo(t, ts3, info2.ID); got.State != service.StateDone {
+		t.Fatalf("job %s replayed as %s, want done", info2.ID, got.State)
+	}
+}
+
+// TestMetaRepairSurvivesTruncateFailure breaks the repair path itself:
+// the submit append fails after landing a partial line AND the repair's
+// truncate fails once. The retry must redo the repair and land the
+// entry — with only the broken closed handle kept (the old behavior),
+// the second and last attempt would fail on "file already closed" and
+// the submission would be refused.
+func TestMetaRepairSurvivesTruncateFailure(t *testing.T) {
+	fs := faultfs.New()
+	opts := durableOpts(fs)
+	opts.JournalRetries = 2
+	s1, ts1 := boot(t, opts)
+	fs.FailWrites("journal.jsonl", 1, 1, 3)
+	fs.FailTruncates("journal.jsonl", 1, 1)
+	status, info, raw := submit(t, ts1, resumableSpec(), "?wait=1")
+	if status != http.StatusOK {
+		t.Fatalf("submit: status %d (%s)", status, raw)
+	}
+	ts1.Close()
+	s1.Close()
+
+	// The repaired journal replays cleanly: no interior garbage from the
+	// partial write, and the job comes back done.
+	s2, ts2 := boot(t, durableOpts(fs))
+	defer func() { ts2.Close(); s2.Close() }()
+	if got := jobInfo(t, ts2, info.ID); got.State != service.StateDone {
+		t.Fatalf("job %s replayed as %s, want done", info.ID, got.State)
+	}
+}
+
 // TestCorruptJournalNeverWedges scribbles over the middle of the meta
 // journal and the records file; the restarted server must come up
 // serving (the damage degrades to truncation/skipping) rather than

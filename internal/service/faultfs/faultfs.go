@@ -60,6 +60,7 @@ type FS struct {
 	dirs       map[string]bool
 	writeFault []*fault
 	syncFault  []*fault
+	truncFault []*fault
 
 	// Writes and Syncs count every attempted operation, for tests that
 	// want to assert how much work the journal performed.
@@ -113,6 +114,9 @@ func (fs *FS) Truncate(p string, size int64) error {
 	f := fs.files[path.Clean(p)]
 	if f == nil {
 		return &os.PathError{Op: "truncate", Path: p, Err: os.ErrNotExist}
+	}
+	if ft := trigger(&fs.truncFault, p); ft != nil {
+		return fmt.Errorf("truncate %s: %w", p, ErrInjected)
 	}
 	if size < int64(len(f.data)) {
 		f.data = f.data[:size]
@@ -227,6 +231,21 @@ func (fs *FS) FailWrites(substr string, nth, times, partial int) {
 	fs.writeFault = append(fs.writeFault, &fault{substr: substr, nth: nth, times: times, partial: partial})
 }
 
+// FailTruncates arms a truncate fault analogous to FailWrites (the
+// failing truncate leaves the file untouched). It is how tests break
+// the journal's repair path itself.
+func (fs *FS) FailTruncates(substr string, nth, times int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if nth < 1 {
+		nth = 1
+	}
+	if times < 1 {
+		times = 1
+	}
+	fs.truncFault = append(fs.truncFault, &fault{substr: substr, nth: nth, times: times})
+}
+
 // FailSyncs arms a sync fault analogous to FailWrites.
 func (fs *FS) FailSyncs(substr string, nth, times int) {
 	fs.mu.Lock()
@@ -244,7 +263,7 @@ func (fs *FS) FailSyncs(substr string, nth, times int) {
 func (fs *FS) ClearFaults() {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	fs.writeFault, fs.syncFault = nil, nil
+	fs.writeFault, fs.syncFault, fs.truncFault = nil, nil, nil
 }
 
 // --- crash simulation ---

@@ -134,6 +134,24 @@ type recAppender struct {
 	path    string
 	valid   int64 // bytes of complete, well-formed lines known to be on disk
 	pending int   // appends since the last Sync
+	// broken marks a failed repair (f is closed, the file may carry a
+	// torn tail); the next append must re-repair before writing.
+	broken bool
+}
+
+// repair truncates the records file to its last known-good offset and
+// reopens the append handle. The caller holds ra.mu and has already
+// closed the old handle.
+func (ra *recAppender) repair(fs FS) error {
+	if err := fs.Truncate(ra.path, ra.valid); err != nil {
+		return err
+	}
+	f, err := fs.OpenAppend(ra.path)
+	if err != nil {
+		return err
+	}
+	ra.f = f
+	return nil
 }
 
 // journal is the daemon's durable job store.
@@ -148,8 +166,11 @@ type journal struct {
 	mu        sync.Mutex // guards meta file state and the appender map
 	meta      File
 	metaValid int64
-	recs      map[string]*recAppender
-	recValid  map[string]int64 // valid byte length of records files found at replay
+	// metaBroken marks a failed meta repair (meta is closed, the file
+	// may carry a torn tail); the next append must re-repair first.
+	metaBroken bool
+	recs       map[string]*recAppender
+	recValid   map[string]int64 // valid byte length of records files found at replay
 }
 
 func (jr *journal) metaPath() string   { return filepath.Join(jr.dir, "journal.jsonl") }
@@ -367,6 +388,21 @@ func (jr *journal) loadRecords(rj *replayedJob, rs *replayState) error {
 	return nil
 }
 
+// repairMeta truncates the meta journal to its last known-good offset
+// and reopens the append handle. The caller holds jr.mu and has already
+// closed the old handle.
+func (jr *journal) repairMeta() error {
+	if err := jr.fs.Truncate(jr.metaPath(), jr.metaValid); err != nil {
+		return err
+	}
+	f, err := jr.fs.OpenAppend(jr.metaPath())
+	if err != nil {
+		return err
+	}
+	jr.meta = f
+	return nil
+}
+
 // appendMeta journals one entry, retrying transient failures with the
 // file repaired (truncated to the last good offset and reopened) between
 // attempts. sync forces an fsync after the append.
@@ -382,6 +418,15 @@ func (jr *journal) appendMeta(e journalEntry, sync bool) error {
 		return errJournalClosed
 	}
 	op := func() error {
+		if jr.metaBroken {
+			// A previous repair failed and the handle is closed; finish the
+			// repair before writing so the real truncate/open error
+			// surfaces instead of "file already closed".
+			if err := jr.repairMeta(); err != nil {
+				return err
+			}
+			jr.metaBroken = false
+		}
 		if _, err := jr.meta.Write(b); err != nil {
 			return err
 		}
@@ -395,11 +440,7 @@ func (jr *journal) appendMeta(e journalEntry, sync bool) error {
 			return
 		}
 		jr.meta.Close()
-		if err := jr.fs.Truncate(jr.metaPath(), jr.metaValid); err == nil {
-			if f, err := jr.fs.OpenAppend(jr.metaPath()); err == nil {
-				jr.meta = f
-			}
-		}
+		jr.metaBroken = jr.repairMeta() != nil
 	}
 	if err := jr.retry.do(op, repair); err != nil {
 		return fmt.Errorf("service: journal append: %w", err)
@@ -460,6 +501,14 @@ func (jr *journal) appendRecord(id string, rec mc.Record) error {
 		if jr.closed.Load() {
 			return errJournalClosed
 		}
+		if ra.broken {
+			// Same as appendMeta: finish the failed repair first so the
+			// real error surfaces, not "file already closed".
+			if err := ra.repair(jr.fs); err != nil {
+				return err
+			}
+			ra.broken = false
+		}
 		if _, err := ra.f.Write(b); err != nil {
 			return err
 		}
@@ -470,11 +519,7 @@ func (jr *journal) appendRecord(id string, rec mc.Record) error {
 			return
 		}
 		ra.f.Close()
-		if err := jr.fs.Truncate(ra.path, ra.valid); err == nil {
-			if f, err := jr.fs.OpenAppend(ra.path); err == nil {
-				ra.f = f
-			}
-		}
+		ra.broken = ra.repair(jr.fs) != nil
 	}
 	if err := jr.retry.do(op, repair); err != nil {
 		return fmt.Errorf("service: journal records of %s: %w", id, err)

@@ -302,6 +302,16 @@ func (s *Server) submitSync(w http.ResponseWriter, r *http.Request, spec JobSpec
 	}
 	s.syncWG.Add(1)
 	defer s.syncWG.Done()
+	// Re-check draining after the Add: a submission that passed the
+	// handleSubmit check just before StartDrain could otherwise Add after
+	// Drain's syncWG.Wait returned and run against a closed journal. If
+	// the flag is clear here, the Add is ordered before Drain's Wait and
+	// the drain covers this job.
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit after the restart")
+		return
+	}
 	// The job dies with the client connection or with server shutdown,
 	// whichever comes first.
 	ctx, cancel := context.WithCancel(r.Context())

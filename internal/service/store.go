@@ -304,6 +304,18 @@ func (s *store) create(spec JobSpec, cancel context.CancelFunc) *jobState {
 	return j
 }
 
+// setNext seeds the ID counter so newly created jobs never reuse an ID
+// the journal has ever issued — including deleted ones: a reused ID's
+// submit entry would sit after its delete entry in the journal, and
+// replay would silently drop the new job.
+func (s *store) setNext(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.next {
+		s.next = n
+	}
+}
+
 // restore re-registers a replayed job under its original ID, keeping the
 // ID counter ahead of every restored job. Only called during New, before
 // any request can race it.
