@@ -35,6 +35,7 @@ func TestMain(m *testing.M) {
 type daemon struct {
 	cmd    *exec.Cmd
 	base   string        // http://host:port
+	pprof  string        // http://host:port of the -pprof-addr listener, if any
 	exited chan struct{} // closed once the child has been reaped
 	stderr *bytes.Buffer
 }
@@ -57,6 +58,7 @@ func startDaemon(t *testing.T, extra ...string) *daemon {
 	t.Cleanup(func() { cmd.Process.Kill(); <-d.exited })
 
 	addrc := make(chan string, 1)
+	pprofc := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(pipe)
 		for sc.Scan() {
@@ -71,6 +73,15 @@ func startDaemon(t *testing.T, extra ...string) *daemon {
 					}
 				}
 			}
+			if i := strings.Index(line, "pprof on "); i >= 0 {
+				rest := line[i+len("pprof on "):]
+				if j := strings.Index(rest, " "); j >= 0 {
+					select {
+					case pprofc <- rest[:j]:
+					default:
+					}
+				}
+			}
 		}
 		cmd.Wait()
 		close(d.exited)
@@ -78,6 +89,13 @@ func startDaemon(t *testing.T, extra ...string) *daemon {
 	select {
 	case addr := <-addrc:
 		d.base = "http://" + addr
+		// The pprof line (if -pprof-addr was given) is logged before the
+		// listening line, so it is already buffered by now.
+		select {
+		case p := <-pprofc:
+			d.pprof = "http://" + p
+		default:
+		}
 	case <-d.exited:
 		t.Fatalf("daemon exited before listening: %v\n%s", cmd.ProcessState, d.stderr.Bytes())
 	case <-time.After(30 * time.Second):

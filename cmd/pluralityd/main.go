@@ -22,6 +22,12 @@
 // interrupted job from its completed replicate prefix, and the final
 // record stream is byte-identical to a crash-free run (DESIGN.md §9).
 //
+// Observability (DESIGN.md §10): GET /metrics serves Prometheus text
+// exposition, GET /v1/events streams job lifecycle + progress as SSE,
+// and GET / serves a live dashboard rendered off that stream. Profiling
+// is opt-in via -pprof-addr, which serves net/http/pprof on a separate
+// listener only — the API address never exposes /debug/pprof.
+//
 // Shutdown is two-stage: the first SIGTERM/SIGINT starts a graceful
 // drain (new submissions get 503 + Retry-After, in-flight replicates
 // finish, the journal gets its clean-shutdown marker) bounded by
@@ -37,6 +43,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,8 +63,19 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "journal directory for crash-survivable jobs (empty = in-memory only)")
 		retain       = flag.Int("retain", 0, "terminal jobs kept in memory before LRU eviction (0 = default 1024, negative = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain deadline after the first SIGTERM/SIGINT")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty = disabled; never exposed on -addr)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pluralityd: pprof listener:", err)
+			os.Exit(1)
+		}
+		log.Printf("pluralityd: pprof on %s (profiles at /debug/pprof/)", pln.Addr())
+		go func() { _ = http.Serve(pln, pprofMux()) }()
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -83,6 +101,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pluralityd:", err)
 		os.Exit(1)
 	}
+}
+
+// pprofMux is the profiling surface served only on -pprof-addr: a
+// dedicated mux (never http.DefaultServeMux, never the API handler), so
+// the main listener cannot leak /debug/pprof no matter what packages
+// register on the default mux.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // run binds the listener and serves until ctx is cancelled.

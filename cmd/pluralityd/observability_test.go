@@ -1,0 +1,282 @@
+package main
+
+// Subprocess tests of the observability surface against a real daemon:
+// the CI metrics smoke (scrape → kill -9 → restart → re-scrape, with
+// every scrape certified by the strict in-repo parser), SIGTERM drain
+// as seen by a connected SSE client, the embedded dashboard, and the
+// pprof listener isolation.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"plurality/internal/service"
+	"plurality/internal/service/promtext"
+)
+
+// scrapeDaemon fetches and certifies /metrics from a live daemon.
+func scrapeDaemon(t *testing.T, base string) map[string]*promtext.Family {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d err %v", resp.StatusCode, err)
+	}
+	fams, err := promtext.Parse(raw)
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v\n%s", err, raw)
+	}
+	if err := promtext.Validate(fams); err != nil {
+		t.Fatalf("scrape fails validation: %v\n%s", err, raw)
+	}
+	return fams
+}
+
+func counter(t *testing.T, fams map[string]*promtext.Family, family string, labels map[string]string) float64 {
+	t.Helper()
+	f, ok := fams[family]
+	if !ok {
+		t.Fatalf("scrape has no family %q", family)
+	}
+	v, _ := f.Get(labels)
+	return v
+}
+
+// TestMetricsSmokeAcrossRestart is the CI metrics smoke: boot, run a
+// job, scrape twice (counters must be monotone within one process),
+// kill -9 mid-job, restart on the same data dir, and after resume
+// require executed + resumed replicates to sum to the job's replicate
+// count exactly — no double-counted work across the crash.
+func TestMetricsSmokeAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	d := startDaemon(t, "-data-dir", dir, "-workers", "2")
+
+	status, body := postJSON(t, d.base+"/v1/jobs", slowJob)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d body %s", status, body)
+	}
+	var sub service.JobInfo
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]string{"engine": "sampled", "rule": "3majority"}
+	monotone := []struct {
+		family string
+		labels map[string]string
+	}{
+		{"pluralityd_replicates_total", labels},
+		{"pluralityd_rounds_total", labels},
+		{"pluralityd_journal_fsyncs_total", nil},
+		{"pluralityd_journal_bytes_total", nil},
+		{"pluralityd_jobs_submitted_total", map[string]string{"path": "async"}},
+	}
+
+	waitRecords(t, d.base, sub.ID, 3)
+	first := scrapeDaemon(t, d.base)
+	// Records >= 18 with the default SyncEvery of 16 guarantees at least
+	// one fsynced batch survives the SIGKILL.
+	info := waitRecords(t, d.base, sub.ID, 18)
+	if info.State.Terminal() {
+		t.Fatalf("job finished before the kill; use a slower spec (%+v)", info)
+	}
+	second := scrapeDaemon(t, d.base)
+	for _, m := range monotone {
+		a, b := counter(t, first, m.family, m.labels), counter(t, second, m.family, m.labels)
+		if b < a {
+			t.Errorf("%s went backwards within one process: %v then %v", m.family, a, b)
+		}
+	}
+	if got := counter(t, second, "pluralityd_replicates_total", labels); got < 18 {
+		t.Errorf("replicates_total = %v after 18 records, want >= 18", got)
+	}
+
+	d.signal(t, syscall.SIGKILL)
+	if code := d.wait(t); code == 0 {
+		t.Fatal("SIGKILL produced exit code 0")
+	}
+
+	d2 := startDaemon(t, "-data-dir", dir, "-workers", "2")
+	if info := waitTerminal(t, d2.base, sub.ID); info.State != service.StateDone {
+		t.Fatalf("resumed job: %+v", info)
+	}
+	final := scrapeDaemon(t, d2.base)
+	executed := counter(t, final, "pluralityd_replicates_total", labels)
+	resumed := counter(t, final, "pluralityd_replicates_resumed_total", labels)
+	if executed+resumed != 100 {
+		t.Fatalf("executed (%v) + resumed (%v) = %v, want exactly 100: replicates were double-counted or lost across the restart",
+			executed, resumed, executed+resumed)
+	}
+	if resumed < 16 {
+		t.Fatalf("resumed = %v, want >= 16 (the fsynced prefix was re-executed instead of adopted)", resumed)
+	}
+}
+
+// TestSIGTERMDrainWithSSEClient: a client streaming /v1/events through
+// a graceful drain receives a terminal shutdown event and a clean
+// end-of-stream — no reset, no truncated frame — while the daemon still
+// exits 0.
+func TestSIGTERMDrainWithSSEClient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	d := startDaemon(t, "-data-dir", dir, "-drain-timeout", "30s")
+
+	resp, err := http.Get(d.base + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/events: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	events := make(chan string, 64)
+	scanErr := make(chan error, 1)
+	go func() {
+		for sc.Scan() {
+			if ev, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+				events <- ev
+			}
+		}
+		scanErr <- sc.Err()
+		close(events)
+	}()
+	waitEvent := func(want string) {
+		t.Helper()
+		for {
+			select {
+			case ev, ok := <-events:
+				if !ok {
+					t.Fatalf("stream ended before %q event", want)
+				}
+				if ev == want {
+					return
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatalf("no %q event within 30s", want)
+			}
+		}
+	}
+	waitEvent("hello")
+
+	// Traffic before the drain, so the shutdown event terminates a live
+	// stream rather than an idle one.
+	status, body := postJSON(t, d.base+"/v1/jobs?wait=1",
+		`{"n": 100000, "k": 8, "seed": 5, "replicates": 3, "max_rounds": 2000}`)
+	if status != http.StatusOK {
+		t.Fatalf("sync job: status %d body %s", status, body)
+	}
+	waitEvent("progress")
+
+	d.signal(t, syscall.SIGTERM)
+	waitEvent("shutdown")
+	// After the terminal event the stream must end cleanly: scanner
+	// drained with no error (EOF, not a connection reset).
+	select {
+	case err := <-scanErr:
+		if err != nil {
+			t.Fatalf("stream ended uncleanly after shutdown event: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream never closed after the shutdown event")
+	}
+	if code := d.wait(t); code != 0 {
+		t.Fatalf("drain with a connected SSE client exited %d\n%s", code, d.stderr.Bytes())
+	}
+}
+
+// TestDashboardServed: the embedded dashboard answers on exactly the
+// root path; everything else stays API-clean.
+func TestDashboardServed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	d := startDaemon(t)
+	resp, err := http.Get(d.base + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /: status %d err %v", resp.StatusCode, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("GET /: Content-Type %q, want text/html", ct)
+	}
+	if !strings.Contains(string(body), "EventSource(\"/v1/events\")") {
+		t.Fatal("dashboard HTML does not subscribe to /v1/events")
+	}
+	resp, err = http.Get(d.base + "/nosuchpage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /nosuchpage: status %d, want 404 (dashboard must match only the exact root)", resp.StatusCode)
+	}
+}
+
+// TestPprofListenerIsolation: -pprof-addr serves the profiling surface
+// on its own listener, and the API address never exposes /debug/pprof —
+// with or without the flag.
+func TestPprofListenerIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	d := startDaemon(t, "-pprof-addr", "127.0.0.1:0")
+	if d.pprof == "" {
+		t.Fatalf("daemon never announced its pprof address\n%s", d.stderr.Bytes())
+	}
+	resp, err := http.Get(d.pprof + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET pprof index: status %d err %v", resp.StatusCode, err)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatal("pprof index does not list profiles")
+	}
+	// The API listener must not serve any of it.
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(d.base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s on the API address: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// Without the flag there is no pprof surface at all.
+	plain := startDaemon(t)
+	if plain.pprof != "" {
+		t.Fatalf("daemon without -pprof-addr announced a pprof listener %q", plain.pprof)
+	}
+	resp, err = http.Get(plain.base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/pprof/ without the flag: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -94,6 +94,15 @@ type RunOpts struct {
 	// Queue backlog fires it only when an executor picks the job up, which
 	// is how a service distinguishes "queued" from "running".
 	OnStart func()
+	// OnProgress, if non-nil, is called once per newly computed replicate,
+	// in replicate order, after the record has cleared the Sink. done is
+	// the number of records complete so far — including any resumed Done
+	// prefix — and total is the job's replicate count. Records supplied
+	// via Done never fire OnProgress: they were computed (and counted) by
+	// a previous run, which is what lets a service's throughput counters
+	// survive a crash-resume without double-counting. Like Sink, it runs
+	// on the coordinating goroutine, never concurrently with itself.
+	OnProgress func(rec Record, done, total int)
 }
 
 // RepSeeds returns the n per-replicate seeds derived from a job's base
@@ -155,10 +164,15 @@ func (p *Pool) Run(ctx context.Context, job Job, opts RunOpts) ([]Record, error)
 			return nil
 		}
 		for flush < n && (have[flush] || comp[flush]) {
-			if !have[flush] && opts.Sink != nil {
-				if err := opts.Sink(recs[flush]); err != nil {
-					sinkFailed = true
-					return err
+			if !have[flush] {
+				if opts.Sink != nil {
+					if err := opts.Sink(recs[flush]); err != nil {
+						sinkFailed = true
+						return err
+					}
+				}
+				if opts.OnProgress != nil {
+					opts.OnProgress(recs[flush], flush+1, n)
 				}
 			}
 			flush++

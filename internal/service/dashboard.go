@@ -1,0 +1,20 @@
+package service
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// The embedded live dashboard: one self-contained HTML file (no build
+// step, no external assets) rendering the job table, queue depth and
+// per-engine throughput entirely off the GET /v1/events SSE stream.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// handleDashboard serves GET /{$} — exactly the root path, so unknown
+// paths still 404 and the API namespace stays clean.
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(dashboardHTML)
+}

@@ -86,6 +86,7 @@ func (s *Server) finishJob(j *jobState, err error) {
 		s.journalTerminal(j, st, j.info().Error)
 	}
 	s.store.noteTerminal(j.id)
+	s.publishJob(j)
 }
 
 // restore re-registers every replayed job before the server accepts its
@@ -116,9 +117,10 @@ func (s *Server) restore(rs *replayState) {
 			done[rec.Rep] = rec
 		}
 		admitted := s.queue.TryEnqueue(ctx, rj.spec.MCJob(), mc.RunOpts{
-			Done:    done,
-			Sink:    s.jobSink(j),
-			OnStart: func() { j.setRunning(); s.journalRunning(j) },
+			Done:       done,
+			Sink:       s.jobSink(j),
+			OnStart:    func() { j.setRunning(); s.journalRunning(j); s.publishJob(j) },
+			OnProgress: s.jobProgress(j),
 		}, func(_ []mc.Record, err error) {
 			s.finishJob(j, err)
 			cancel()

@@ -1,0 +1,119 @@
+package service
+
+// White-box hub tests: the slow-consumer drop rule and the frame
+// encoding, deterministically — no sockets, no timing. The end-to-end
+// versions (real connections, real backpressure) live in
+// events_test.go.
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recv asserts a frame is immediately available and returns it.
+func recv(t *testing.T, sub *subscriber, what string) string {
+	t.Helper()
+	select {
+	case b, ok := <-sub.ch:
+		if !ok {
+			t.Fatalf("%s: channel closed", what)
+		}
+		return string(b)
+	default:
+		t.Fatalf("%s: no frame buffered", what)
+		return ""
+	}
+}
+
+func TestHubDropsSlowSubscriberWithoutBlocking(t *testing.T) {
+	met := newServerMetrics()
+	h := newHub(1, met)
+	slow := h.subscribe()
+	fast := h.subscribe()
+	if n := h.clients(); n != 2 {
+		t.Fatalf("clients = %d, want 2", n)
+	}
+
+	// First publish fits both 1-slot buffers.
+	h.publish(Event{Type: "job"})
+	recv(t, fast, "fast first frame")
+
+	// Second publish: fast has room (drained), slow is full — the hub
+	// must drop slow on the spot and never block. Guard with a timeout so
+	// a blocking regression fails fast instead of hanging the suite.
+	done := make(chan struct{})
+	go func() { h.publish(Event{Type: "job"}); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a full subscriber buffer")
+	}
+	recv(t, fast, "fast second frame")
+
+	if n := h.clients(); n != 1 {
+		t.Fatalf("clients = %d after drop, want 1 (only fast)", n)
+	}
+	// Slow's channel: one buffered frame (the first), then closed — the
+	// handler flushes what it has and ends the response.
+	recv(t, slow, "slow buffered frame")
+	if _, ok := <-slow.ch; ok {
+		t.Fatal("slow subscriber channel not closed after drop")
+	}
+	met.mu.Lock()
+	droppedTotal, eventsTotal := met.sseDropped, met.sseEvents
+	met.mu.Unlock()
+	if droppedTotal != 1 {
+		t.Fatalf("sseDropped = %d, want 1", droppedTotal)
+	}
+	if eventsTotal != 2 {
+		t.Fatalf("sseEvents = %d, want 2", eventsTotal)
+	}
+}
+
+func TestHubShutdownDeliversTerminalFrame(t *testing.T) {
+	h := newHub(4, newServerMetrics())
+	sub := h.subscribe()
+	h.publish(Event{Type: "job"})
+	h.shutdown()
+	h.shutdown() // idempotent
+
+	if got := recv(t, sub, "queued frame"); !strings.Contains(got, `"type":"job"`) {
+		t.Fatalf("first frame %q, want the queued job event", got)
+	}
+	if got := recv(t, sub, "shutdown frame"); !strings.Contains(got, `"type":"shutdown"`) {
+		t.Fatalf("second frame %q, want the shutdown event", got)
+	}
+	if _, ok := <-sub.ch; ok {
+		t.Fatal("channel not closed after shutdown")
+	}
+	if h.subscribe() != nil {
+		t.Fatal("subscribe after shutdown must return nil")
+	}
+	// Publishing into a closed hub is a silent no-op.
+	h.publish(Event{Type: "job"})
+}
+
+func TestFrameFormat(t *testing.T) {
+	got := string(frame(Event{Seq: 7, Type: "progress", ID: "j1", Done: 3, Total: 12, Backlog: 2}))
+	if !strings.HasPrefix(got, "id: 7\nevent: progress\ndata: {") {
+		t.Fatalf("frame = %q, want id/event/data lines", got)
+	}
+	if !strings.HasSuffix(got, "}\n\n") {
+		t.Fatalf("frame = %q, want a blank-line terminator", got)
+	}
+	if strings.Count(got, "\n\n") != 1 {
+		t.Fatalf("frame = %q must contain exactly one blank line (the terminator)", got)
+	}
+}
+
+func TestProgressStride(t *testing.T) {
+	cases := []struct{ total, want int }{
+		{1, 1}, {5, 1}, {64, 1}, {65, 1}, {128, 2}, {6400, 100}, {100_000, 1562},
+	}
+	for _, tc := range cases {
+		if got := progressStride(tc.total); got != tc.want {
+			t.Errorf("progressStride(%d) = %d, want %d", tc.total, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package service
+
+// Golden tests pinning the JobInfo JSON surface — the payload served by
+// every status endpoint and carried on SSE job events. One golden file
+// per lifecycle state (plus the evicted tombstone), exercising every
+// conditional field: Error only on failures/cancellations, Aggregate
+// only on terminal states with records, Evicted only on tombstones.
+// Regenerate with: go test ./internal/service -run TestJobInfoGolden -update
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"plurality/internal/mc"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpec is a fixed, fully normalized spec so golden bytes are
+// stable across spec-default changes (a default change then shows up as
+// an explicit golden diff, not silent drift).
+func goldenSpec() JobSpec {
+	s := JobSpec{Rule: "3majority", Engine: "multinomial", N: 10_000, K: 4,
+		Bias: "auto", Seed: 42, Replicates: 3, MaxRounds: 500}
+	s.Normalize()
+	return s
+}
+
+// goldenRecords are hand-fixed records (not simulator output) so the
+// aggregate block is a pure function of these literals.
+func goldenRecords(name string, seeds []uint64) []mc.Record {
+	return []mc.Record{
+		{Job: name, Rep: 0, Seed: seeds[0], Rounds: 7, Success: true},
+		{Job: name, Rep: 1, Seed: seeds[1], Rounds: 9, Success: true},
+		{Job: name, Rep: 2, Seed: seeds[2], Rounds: 11, Success: false},
+	}
+}
+
+func TestJobInfoGolden(t *testing.T) {
+	spec := goldenSpec()
+	seeds := mc.RepSeeds(spec.Seed, spec.Replicates)
+	recs := goldenRecords(spec.Name(), seeds)
+	build := map[string]func() *jobState{
+		"queued": func() *jobState {
+			return newJobState("j1", spec, func() {}, nil)
+		},
+		"running": func() *jobState {
+			j := newJobState("j2", spec, func() {}, nil)
+			j.setRunning()
+			_ = j.appendRecord(recs[0])
+			return j
+		},
+		"done": func() *jobState {
+			j := newJobState("j3", spec, func() {}, nil)
+			j.setRunning()
+			for _, rec := range recs {
+				_ = j.appendRecord(rec)
+			}
+			j.finish(nil)
+			return j
+		},
+		"failed": func() *jobState {
+			j := newJobState("j4", spec, func() {}, nil)
+			j.setRunning()
+			_ = j.appendRecord(recs[0])
+			j.finish(errors.New("service: journal records of j4: disk gone"))
+			return j
+		},
+		"cancelled": func() *jobState {
+			j := newJobState("j5", spec, func() {}, nil)
+			j.setRunning()
+			_ = j.appendRecord(recs[0])
+			_ = j.appendRecord(recs[1])
+			j.finish(context.Canceled)
+			return j
+		},
+		"evicted": func() *jobState {
+			j := newJobState("j6", spec, func() {}, nil)
+			j.setRunning()
+			for _, rec := range recs {
+				_ = j.appendRecord(rec)
+			}
+			j.finish(nil)
+			j.evict()
+			return j
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			info := mk().info()
+			got, err := json.MarshalIndent(info, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "jobinfo", name+".golden.json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to regenerate)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("JobInfo JSON for %s drifted from golden:\n got: %s\nwant: %s\n(run with -update if intended)", name, got, want)
+			}
+		})
+	}
+}
+
+// TestJobInfoOmitemptyContract asserts the conditional fields stay
+// conditional: a queued job's JSON must not mention error, aggregate or
+// evicted at all, and a round-trip through the wire type is lossless.
+func TestJobInfoOmitemptyContract(t *testing.T) {
+	j := newJobState("j1", goldenSpec(), func() {}, nil)
+	raw, err := json.Marshal(j.info())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{`"error"`, `"aggregate"`, `"evicted"`} {
+		if bytes.Contains(raw, []byte(absent)) {
+			t.Errorf("queued JobInfo JSON %s carries %s — omitempty drifted", raw, absent)
+		}
+	}
+	var back JobInfo
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != "j1" || back.State != StateQueued || back.Spec != goldenSpec() {
+		t.Errorf("JobInfo did not survive a JSON round-trip: %+v", back)
+	}
+}

@@ -160,6 +160,9 @@ type journal struct {
 	dir       string
 	syncEvery int
 	retry     retryPolicy
+	// met counts fsyncs, durable bytes and repairs; set by the server
+	// right after openJournal (all methods are nil-safe before that).
+	met *serverMetrics
 
 	closed atomic.Bool
 
@@ -439,6 +442,7 @@ func (jr *journal) appendMeta(e journalEntry, sync bool) error {
 		if jr.closed.Load() {
 			return
 		}
+		jr.met.journalRepair()
 		jr.meta.Close()
 		jr.metaBroken = jr.repairMeta() != nil
 	}
@@ -446,6 +450,10 @@ func (jr *journal) appendMeta(e journalEntry, sync bool) error {
 		return fmt.Errorf("service: journal append: %w", err)
 	}
 	jr.metaValid += int64(len(b))
+	jr.met.journalWrote(len(b))
+	if sync {
+		jr.met.journalFsync()
+	}
 	return nil
 }
 
@@ -518,6 +526,7 @@ func (jr *journal) appendRecord(id string, rec mc.Record) error {
 		if jr.closed.Load() {
 			return
 		}
+		jr.met.journalRepair()
 		ra.f.Close()
 		ra.broken = ra.repair(jr.fs) != nil
 	}
@@ -525,12 +534,14 @@ func (jr *journal) appendRecord(id string, rec mc.Record) error {
 		return fmt.Errorf("service: journal records of %s: %w", id, err)
 	}
 	ra.valid += int64(len(b))
+	jr.met.journalWrote(len(b))
 	ra.pending++
 	if ra.pending >= jr.syncEvery {
 		if err := jr.retry.do(func() error { return ra.f.Sync() }, nil); err != nil {
 			return fmt.Errorf("service: journal records sync of %s: %w", id, err)
 		}
 		ra.pending = 0
+		jr.met.journalFsync()
 	}
 	return nil
 }
@@ -554,6 +565,7 @@ func (jr *journal) jobTerminal(id string, st State, errmsg string) error {
 		if err != nil {
 			return fmt.Errorf("service: journal records sync of %s: %w", id, err)
 		}
+		jr.met.journalFsync()
 	}
 	return jr.state(id, st, errmsg)
 }

@@ -1,0 +1,454 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"plurality/internal/service/promtext"
+)
+
+// This file is the observability registry behind GET /metrics: a
+// hand-rolled counter/gauge/histogram store instrumented at the seams
+// that already exist — job lifecycle transitions in the store, queue
+// depth and load-shed rejections, sync-slot occupancy, journal fsync
+// and repair activity, and per-engine replicate throughput fed from the
+// mc.RunOpts.OnProgress hook. Everything is stdlib-only and encoded in
+// the Prometheus text exposition format (version 0.0.4); the matching
+// strict parser lives in internal/service/promtext and certifies every
+// scrape in the test harness.
+//
+// Two kinds of values appear in a scrape:
+//
+//   - registry-owned: transition-maintained gauges and monotone
+//     counters, updated inside the same critical sections that change
+//     the state they describe (so a quiesced server's gauges equal a
+//     walk of the store — the consistency invariant the tests assert);
+//   - scrape-time: values read live from the server (queue depth,
+//     sync-slot occupancy, SSE client count, draining flag).
+//
+// Resumed replicates are counted separately (replicates_resumed_total)
+// from executed ones (replicates_total): a crash-resume adopts its
+// journaled prefix without re-firing OnProgress, so the two counters
+// always sum to the work done exactly once.
+
+// engineRule keys the per-engine throughput counters.
+type engineRule struct{ engine, rule string }
+
+// roundsBuckets are the replicate-rounds histogram bounds: powers of 4
+// up to just past MaxMaxRounds.
+var roundsBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216}
+
+// histogram is a fixed-bucket histogram; counts are per-bucket and
+// cumulated at encode time.
+type histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is the +Inf overflow bucket
+	sum    float64
+	count  int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// serverMetrics is the registry. All methods are nil-safe so bare
+// stores and jobStates built by unit tests need no registry. The mutex
+// is a leaf lock: it is taken inside jobState/store critical sections
+// and never the other way around.
+type serverMetrics struct {
+	mu sync.Mutex
+
+	jobs       map[State]int64  // current store composition
+	finished   map[State]int64  // terminal transitions performed by this process
+	submitted  map[string]int64 // accepted submissions by path (sync|async)
+	rejected   map[string]int64 // load-shed responses by reason
+	deleted    int64            // DELETE /v1/jobs/{id} successes
+	evictions  int64            // terminal jobs evicted to tombstones
+	replicates map[engineRule]int64
+	resumed    map[engineRule]int64
+	rounds     map[engineRule]int64
+	roundsHist *histogram
+
+	journalFsyncs  int64
+	journalBytes   int64
+	journalRepairs int64
+
+	sseEvents  int64
+	sseDropped int64
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		jobs:       map[State]int64{},
+		finished:   map[State]int64{},
+		submitted:  map[string]int64{},
+		rejected:   map[string]int64{},
+		replicates: map[engineRule]int64{},
+		resumed:    map[engineRule]int64{},
+		rounds:     map[engineRule]int64{},
+		roundsHist: newHistogram(roundsBuckets),
+	}
+}
+
+// jobTransition moves one job between lifecycle gauge states; an empty
+// from means "newly created", an empty to means "forgotten".
+func (m *serverMetrics) jobTransition(from, to State) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if from != "" {
+		m.jobs[from]--
+	}
+	if to != "" {
+		m.jobs[to]++
+	}
+}
+
+// jobFinished is jobTransition plus the monotone terminal counter (only
+// transitions this process performed — restored terminal jobs move the
+// gauge via jobTransition but never re-count here).
+func (m *serverMetrics) jobFinished(from, to State) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.jobs[from]--
+	m.jobs[to]++
+	m.finished[to]++
+}
+
+func (m *serverMetrics) jobDeleted() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deleted++
+}
+
+func (m *serverMetrics) jobEvicted() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.evictions++
+}
+
+func (m *serverMetrics) submittedJob(path string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.submitted[path]++
+}
+
+func (m *serverMetrics) rejectedJob(reason string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected[reason]++
+}
+
+// replicateDone records one newly executed replicate (the OnProgress
+// feed): throughput counters labelled by engine/rule plus the rounds
+// histogram.
+func (m *serverMetrics) replicateDone(engine, rule string, rounds int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := engineRule{engine, rule}
+	m.replicates[key]++
+	m.rounds[key] += int64(rounds)
+	m.roundsHist.observe(float64(rounds))
+}
+
+// replicatesResumed records n replicates adopted from the journal on
+// restart — counted apart from executed ones so a crash-resume never
+// double-counts work.
+func (m *serverMetrics) replicatesResumed(engine, rule string, n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resumed[engineRule{engine, rule}] += int64(n)
+}
+
+func (m *serverMetrics) journalFsync() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalFsyncs++
+}
+
+func (m *serverMetrics) journalWrote(n int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalBytes += int64(n)
+}
+
+func (m *serverMetrics) journalRepair() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journalRepairs++
+}
+
+func (m *serverMetrics) sseEvent() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sseEvents++
+}
+
+func (m *serverMetrics) sseDrop() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sseDropped++
+}
+
+// --- text exposition encoding ---
+
+// sample is one encoded metric line.
+type sample struct {
+	suffix string // appended to the family name ("_bucket", …)
+	labels [][2]string
+	value  float64
+}
+
+// writeFamily emits one family: HELP, TYPE, then the samples sorted by
+// (suffix, labels) for a deterministic scrape.
+func writeFamily(b *strings.Builder, name, typ, help string, samples []sample) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, promtext.EscapeHelp(help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].suffix != samples[j].suffix {
+			return samples[i].suffix < samples[j].suffix
+		}
+		li, lj := samples[i].labels, samples[j].labels
+		for k := 0; k < len(li) && k < len(lj); k++ {
+			if li[k] != lj[k] {
+				// Histogram buckets must stay in ascending bound order, so
+				// the le label sorts numerically ("+Inf" parses as +Inf).
+				if li[k][0] == "le" && lj[k][0] == "le" {
+					vi, ei := strconv.ParseFloat(li[k][1], 64)
+					vj, ej := strconv.ParseFloat(lj[k][1], 64)
+					if ei == nil && ej == nil {
+						return vi < vj
+					}
+				}
+				return li[k][0]+"\x00"+li[k][1] < lj[k][0]+"\x00"+lj[k][1]
+			}
+		}
+		return len(li) < len(lj)
+	})
+	for _, s := range samples {
+		b.WriteString(name)
+		b.WriteString(s.suffix)
+		if len(s.labels) > 0 {
+			b.WriteByte('{')
+			for i, l := range s.labels {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(b, `%s="%s"`, l[0], promtext.EscapeLabel(l[1]))
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte(' ')
+		b.WriteString(formatValue(s.value))
+		b.WriteByte('\n')
+	}
+}
+
+// formatValue renders a sample value (Prometheus accepts Go's shortest
+// float form; +Inf renders as "+Inf").
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// stateSamples renders a per-state map over a fixed state order so
+// every state always appears (zeros included — dashboards and the
+// consistency tests want stable series).
+func stateSamples(m map[State]int64, states ...State) []sample {
+	out := make([]sample, 0, len(states))
+	for _, st := range states {
+		out = append(out, sample{labels: [][2]string{{"state", string(st)}}, value: float64(m[st])})
+	}
+	return out
+}
+
+// engineRuleSamples renders an engine/rule-keyed counter map.
+func engineRuleSamples(m map[engineRule]int64) []sample {
+	out := make([]sample, 0, len(m))
+	for k, v := range m {
+		out = append(out, sample{labels: [][2]string{{"engine", k.engine}, {"rule", k.rule}}, value: float64(v)})
+	}
+	return out
+}
+
+// mapSamples renders a string-keyed counter map under one label name.
+func mapSamples(label string, m map[string]int64, keys ...string) []sample {
+	out := make([]sample, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, sample{labels: [][2]string{{label, k}}, value: float64(m[k])})
+	}
+	return out
+}
+
+// histSamples renders a histogram's _bucket/_sum/_count samples.
+func histSamples(h *histogram) []sample {
+	out := make([]sample, 0, len(h.bounds)+3)
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		out = append(out, sample{suffix: "_bucket", labels: [][2]string{{"le", formatValue(bound)}}, value: float64(cum)})
+	}
+	cum += h.counts[len(h.bounds)]
+	out = append(out, sample{suffix: "_bucket", labels: [][2]string{{"le", "+Inf"}}, value: float64(cum)})
+	out = append(out, sample{suffix: "_sum", value: h.sum})
+	out = append(out, sample{suffix: "_count", value: float64(h.count)})
+	return out
+}
+
+// scrapeGauges are the values read live from the server at scrape time.
+type scrapeGauges struct {
+	queueDepth   int
+	queueBacklog int
+	syncInUse    int
+	syncMax      int
+	workers      int
+	draining     bool
+	sseClients   int
+}
+
+// encode renders the whole scrape.
+func (m *serverMetrics) encode(b *strings.Builder, g scrapeGauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	bool01 := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	writeFamily(b, "pluralityd_jobs", "gauge",
+		"Jobs currently tracked by the store, by lifecycle state.",
+		stateSamples(m.jobs, StateQueued, StateRunning, StateDone, StateFailed, StateCancelled))
+	writeFamily(b, "pluralityd_jobs_finished_total", "counter",
+		"Terminal transitions performed by this process, by final state (restored terminal jobs are not re-counted).",
+		stateSamples(m.finished, StateDone, StateFailed, StateCancelled))
+	writeFamily(b, "pluralityd_jobs_submitted_total", "counter",
+		"Accepted submissions, by execution path.",
+		mapSamples("path", m.submitted, "sync", "async"))
+	writeFamily(b, "pluralityd_rejections_total", "counter",
+		"Load-shed submissions, by reason (backlog_full and sync_slots_busy are HTTP 429, draining is 503).",
+		mapSamples("reason", m.rejected, "backlog_full", "sync_slots_busy", "draining"))
+	writeFamily(b, "pluralityd_jobs_deleted_total", "counter",
+		"Jobs removed through DELETE /v1/jobs/{id}.",
+		[]sample{{value: float64(m.deleted)}})
+	writeFamily(b, "pluralityd_jobs_evicted_total", "counter",
+		"Terminal jobs evicted from memory to tombstones by the retention cap.",
+		[]sample{{value: float64(m.evictions)}})
+
+	writeFamily(b, "pluralityd_queue_depth", "gauge",
+		"Async jobs admitted but not yet picked up by an executor.",
+		[]sample{{value: float64(g.queueDepth)}})
+	writeFamily(b, "pluralityd_queue_backlog_limit", "gauge",
+		"Capacity of the async backlog (admissions beyond it are rejected).",
+		[]sample{{value: float64(g.queueBacklog)}})
+	writeFamily(b, "pluralityd_sync_slots_in_use", "gauge",
+		"Synchronous submissions executing right now.",
+		[]sample{{value: float64(g.syncInUse)}})
+	writeFamily(b, "pluralityd_sync_slots_limit", "gauge",
+		"Capacity of the synchronous-execution semaphore.",
+		[]sample{{value: float64(g.syncMax)}})
+	writeFamily(b, "pluralityd_workers", "gauge",
+		"Parallelism of the shared replicate pool.",
+		[]sample{{value: float64(g.workers)}})
+	writeFamily(b, "pluralityd_draining", "gauge",
+		"1 while the server refuses new submissions ahead of shutdown.",
+		[]sample{{value: bool01(g.draining)}})
+
+	writeFamily(b, "pluralityd_replicates_total", "counter",
+		"Replicates executed by this process, by engine and rule (fed from the mc progress hook; resumed replicates are counted in pluralityd_replicates_resumed_total instead).",
+		engineRuleSamples(m.replicates))
+	writeFamily(b, "pluralityd_replicates_resumed_total", "counter",
+		"Replicates adopted from the journal on restart instead of re-executed, by engine and rule.",
+		engineRuleSamples(m.resumed))
+	writeFamily(b, "pluralityd_rounds_total", "counter",
+		"Simulated rounds completed by this process, by engine and rule.",
+		engineRuleSamples(m.rounds))
+	writeFamily(b, "pluralityd_replicate_rounds", "histogram",
+		"Rounds per executed replicate.",
+		histSamples(m.roundsHist))
+
+	writeFamily(b, "pluralityd_journal_fsyncs_total", "counter",
+		"Successful journal fsync barriers (submission acks, batched record syncs, terminal transitions).",
+		[]sample{{value: float64(m.journalFsyncs)}})
+	writeFamily(b, "pluralityd_journal_bytes_total", "counter",
+		"Bytes appended durably to the meta journal and record streams.",
+		[]sample{{value: float64(m.journalBytes)}})
+	writeFamily(b, "pluralityd_journal_repairs_total", "counter",
+		"Truncate-and-reopen repairs triggered by failed journal writes.",
+		[]sample{{value: float64(m.journalRepairs)}})
+
+	writeFamily(b, "pluralityd_sse_clients", "gauge",
+		"Live /v1/events subscribers.",
+		[]sample{{value: float64(g.sseClients)}})
+	writeFamily(b, "pluralityd_sse_events_total", "counter",
+		"Events broadcast on the /v1/events stream.",
+		[]sample{{value: float64(m.sseEvents)}})
+	writeFamily(b, "pluralityd_sse_dropped_total", "counter",
+		"Subscribers disconnected for not draining their send buffer.",
+		[]sample{{value: float64(m.sseDropped)}})
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+	s.met.encode(&b, scrapeGauges{
+		queueDepth:   s.queue.Backlog(),
+		queueBacklog: s.opts.Backlog,
+		syncInUse:    len(s.syncSem),
+		syncMax:      s.opts.MaxSync,
+		workers:      s.pool.Workers(),
+		draining:     s.draining.Load(),
+		sseClients:   s.hub.clients(),
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

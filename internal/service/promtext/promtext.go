@@ -1,0 +1,483 @@
+// Package promtext is a minimal reader/writer toolkit for the
+// Prometheus text exposition format (version 0.0.4): the escaping rules
+// shared with the internal/service /metrics encoder, and a strict
+// parser used by the observability test harness and the CI metrics
+// smoke to certify every scrape.
+//
+// The parser is deliberately stricter than a Prometheus server:
+//
+//   - every sample must belong to a family declared by a preceding
+//     # TYPE line (untyped stragglers are an error);
+//   - a family may be declared only once (duplicate families silently
+//     shadow each other in real scrapes — here they fail);
+//   - within a family, two samples with the same name and label set
+//     are an error;
+//   - histogram families accept only the _bucket/_sum/_count suffixes,
+//     and everything else accepts only the bare family name.
+//
+// That strictness is the point: the tests assert a scrape parses, so
+// any drift in the hand-rolled encoder names itself.
+package promtext
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EscapeLabel escapes a label value for the text format: backslash,
+// double-quote and newline. It is byte-transparent — arbitrary (even
+// non-UTF-8) values survive the round-trip through UnescapeLabel.
+func EscapeLabel(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// UnescapeLabel inverts EscapeLabel. Unknown escape sequences keep the
+// escaped character (matching Prometheus' lenient reader), so the
+// function is total; EscapeLabel output always round-trips exactly.
+func UnescapeLabel(s string) string {
+	var b strings.Builder
+	esc := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if esc {
+			switch c {
+			case 'n':
+				b.WriteByte('\n')
+			default: // covers \\ and \" and anything unknown
+				b.WriteByte(c)
+			}
+			esc = false
+			continue
+		}
+		if c == '\\' {
+			esc = true
+			continue
+		}
+		b.WriteByte(c)
+	}
+	if esc {
+		b.WriteByte('\\')
+	}
+	return b.String()
+}
+
+// EscapeHelp escapes a HELP line: backslash and newline (quotes are
+// legal in help text).
+func EscapeHelp(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// Sample is one parsed metric line.
+type Sample struct {
+	// Name is the full sample name (family name plus any histogram
+	// suffix).
+	Name string
+	// Labels maps label name to its unescaped value; no labels parses to
+	// an empty, non-nil map.
+	Labels map[string]string
+	// Value is the sample value; Prometheus special values (+Inf, -Inf,
+	// NaN) parse like strconv.ParseFloat.
+	Value float64
+}
+
+// Family is one metric family: its TYPE, HELP and samples in scrape
+// order.
+type Family struct {
+	Name    string
+	Type    string // "counter", "gauge", "histogram", "summary" or "untyped"
+	Help    string
+	Samples []Sample
+}
+
+// Value returns the value of the sample whose label set equals labels
+// exactly (nil matches the empty label set) under the given full sample
+// name. The second result reports whether such a sample exists.
+func (f *Family) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range f.Samples {
+		if s.Name != name {
+			continue
+		}
+		if len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Get is Value for the bare family name.
+func (f *Family) Get(labels map[string]string) (float64, bool) {
+	return f.Value(f.Name, labels)
+}
+
+// labelKey canonicalizes a label set for duplicate detection.
+func labelKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteString("\x00")
+		b.WriteString(k)
+		b.WriteString("\x01")
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// validName matches the Prometheus metric/label name charset.
+func validName(s string, label bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		digit := r >= '0' && r <= '9'
+		colon := r == ':' && !label
+		if !(alpha || colon || (digit && i > 0)) {
+			return false
+		}
+	}
+	return true
+}
+
+// familyOf maps a sample name to the family it must belong to given the
+// declared families (histogram suffixes collapse onto their family).
+func familyOf(name string, fams map[string]*Family) (*Family, bool) {
+	if f, ok := fams[name]; ok {
+		if f.Type == "histogram" || f.Type == "summary" {
+			// The bare name is only legal for non-histogram types.
+			return nil, false
+		}
+		return f, true
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if f, ok := fams[base]; ok {
+			if f.Type != "histogram" && f.Type != "summary" {
+				return nil, false
+			}
+			if suf == "_bucket" && f.Type == "summary" {
+				return nil, false
+			}
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Parse parses one scrape. It returns the families keyed by name, or an
+// error naming the first offending line.
+func Parse(data []byte) (map[string]*Family, error) {
+	fams := map[string]*Family{}
+	seen := map[string]bool{} // duplicate (name, labels) detection
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, fams); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		f, ok := familyOf(s.Name, fams)
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE declaration (or an incompatible one)", lineNo, s.Name)
+		}
+		if key := labelKey(s.Name, s.Labels); seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate sample %q with identical labels", lineNo, s.Name)
+		} else {
+			seen[key] = true
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	return fams, nil
+}
+
+// parseComment handles # HELP / # TYPE lines (anything else after # is
+// a free comment and is ignored).
+func parseComment(line string, fams map[string]*Family) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return nil // plain comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		name, typ := fields[2], ""
+		if len(fields) == 4 {
+			typ = fields[3]
+		}
+		if !validName(name, false) {
+			return fmt.Errorf("bad metric name %q in TYPE line", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("bad type %q for family %q", typ, name)
+		}
+		if f, dup := fams[name]; dup {
+			if f.Type != "" {
+				return fmt.Errorf("duplicate family %q", name)
+			}
+			f.Type = typ // fill in a HELP-before-TYPE placeholder
+		} else {
+			fams[name] = &Family{Name: name, Type: typ}
+		}
+	case "HELP":
+		name := fields[2]
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		if !validName(name, false) {
+			return fmt.Errorf("bad metric name %q in HELP line", name)
+		}
+		if f, ok := fams[name]; ok {
+			f.Help = UnescapeLabel(help) // HELP unescaping is \\ and \n, a subset of label unescaping
+		} else {
+			// HELP before TYPE is legal; remember the help on a placeholder
+			// that the TYPE line must still declare.
+			fams[name] = &Family{Name: name, Type: "", Help: UnescapeLabel(help)}
+		}
+	}
+	return nil
+}
+
+// parseSample parses one `name{labels} value [timestamp]` line.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 && brace < strings.IndexByte(rest+" ", ' ') {
+		nameEnd = brace
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+		nameEnd = sp
+	}
+	s.Name = rest[:nameEnd]
+	if !validName(s.Name, false) {
+		return s, fmt.Errorf("bad sample name %q", s.Name)
+	}
+	rest = rest[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		rest, err = parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", s.Name, err)
+		}
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// An optional timestamp may follow the value.
+	val := rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		val = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value %q", s.Name, val)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns what follows the
+// closing brace.
+func parseLabels(rest string, into map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if !validName(name, true) {
+			return "", fmt.Errorf("bad label name %q", name)
+		}
+		rest = strings.TrimLeft(rest[eq+1:], " ")
+		if !strings.HasPrefix(rest, `"`) {
+			return "", fmt.Errorf("label %q value is not quoted", name)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		i := 0
+		for {
+			if i >= len(rest) {
+				return "", fmt.Errorf("label %q value never closes", name)
+			}
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return "", fmt.Errorf("label %q value ends mid-escape", name)
+				}
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := into[name]; dup {
+			return "", fmt.Errorf("duplicate label %q", name)
+		}
+		into[name] = val.String()
+		rest = rest[i:]
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		return "", fmt.Errorf("unexpected %q after label %q", rest, name)
+	}
+}
+
+// Validate runs the family-level invariants the test harness asserts on
+// every scrape beyond what Parse already enforces: every family has a
+// TYPE (placeholders left by HELP-only declarations fail), counters
+// never go negative, and histogram bucket counts are cumulative with a
+// +Inf bucket equal to _count.
+func Validate(fams map[string]*Family) error {
+	for name, f := range fams {
+		if f.Type == "" {
+			return fmt.Errorf("family %q has HELP but no TYPE", name)
+		}
+		switch f.Type {
+		case "counter":
+			for _, s := range f.Samples {
+				if s.Value < 0 {
+					return fmt.Errorf("counter %q is negative: %v", name, s.Value)
+				}
+			}
+		case "histogram":
+			if err := validateHistogram(f); err != nil {
+				return fmt.Errorf("histogram %q: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// validateHistogram checks cumulative buckets and the +Inf/_count
+// agreement for every label partition of the family.
+func validateHistogram(f *Family) error {
+	type part struct {
+		last    float64
+		lastLe  string
+		inf     float64
+		infSeen bool
+		count   float64
+		cntSeen bool
+	}
+	parts := map[string]*part{}
+	get := func(labels map[string]string) *part {
+		scoped := map[string]string{}
+		for k, v := range labels {
+			if k != "le" {
+				scoped[k] = v
+			}
+		}
+		key := labelKey("", scoped)
+		p, ok := parts[key]
+		if !ok {
+			p = &part{}
+			parts[key] = p
+		}
+		return p
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			p := get(s.Labels)
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("bucket without le label")
+			}
+			if s.Value < p.last {
+				return fmt.Errorf("buckets not cumulative at le=%q (%v after %v at le=%q)", le, s.Value, p.last, p.lastLe)
+			}
+			p.last, p.lastLe = s.Value, le
+			if le == "+Inf" {
+				p.inf, p.infSeen = s.Value, true
+			}
+		case f.Name + "_count":
+			p := get(s.Labels)
+			p.count, p.cntSeen = s.Value, true
+		}
+	}
+	for _, p := range parts {
+		if !p.infSeen {
+			return fmt.Errorf("no +Inf bucket")
+		}
+		if !p.cntSeen {
+			return fmt.Errorf("no _count sample")
+		}
+		if p.inf != p.count {
+			return fmt.Errorf("+Inf bucket %v != _count %v", p.inf, p.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// scrape is a well-formed exposition used by several tests.
+const scrape = `# HELP demo_jobs Jobs by state.
+# TYPE demo_jobs gauge
+demo_jobs{state="queued"} 2
+demo_jobs{state="running"} 1
+# TYPE demo_total counter
+demo_total 42
+# HELP demo_rounds Rounds per replicate.
+# TYPE demo_rounds histogram
+demo_rounds_bucket{le="1"} 3
+demo_rounds_bucket{le="4"} 7
+demo_rounds_bucket{le="+Inf"} 9
+demo_rounds_sum 31
+demo_rounds_count 9
+`
+
+func TestParseScrape(t *testing.T) {
+	fams, err := Parse([]byte(scrape))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := Validate(fams); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3", len(fams))
+	}
+	jobs := fams["demo_jobs"]
+	if jobs == nil || jobs.Type != "gauge" || jobs.Help != "Jobs by state." {
+		t.Fatalf("demo_jobs parsed wrong: %+v", jobs)
+	}
+	if v, ok := jobs.Get(map[string]string{"state": "queued"}); !ok || v != 2 {
+		t.Fatalf("demo_jobs{state=queued} = %v, %v; want 2, true", v, ok)
+	}
+	if _, ok := jobs.Get(map[string]string{"state": "done"}); ok {
+		t.Fatal("demo_jobs{state=done} should not exist")
+	}
+	if v, ok := fams["demo_total"].Get(nil); !ok || v != 42 {
+		t.Fatalf("demo_total = %v, %v; want 42, true", v, ok)
+	}
+	hist := fams["demo_rounds"]
+	if v, ok := hist.Value("demo_rounds_bucket", map[string]string{"le": "+Inf"}); !ok || v != 9 {
+		t.Fatalf("demo_rounds_bucket{le=+Inf} = %v, %v; want 9, true", v, ok)
+	}
+	if v, ok := hist.Value("demo_rounds_sum", nil); !ok || v != 31 {
+		t.Fatalf("demo_rounds_sum = %v, %v; want 31, true", v, ok)
+	}
+}
+
+func TestParseSpecialValues(t *testing.T) {
+	fams, err := Parse([]byte("# TYPE x untyped\nx{a=\"1\"} +Inf\nx{a=\"2\"} -Inf\nx{a=\"3\"} NaN\nx{a=\"4\"} 1e9 1700000000000\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	x := fams["x"]
+	if v, _ := x.Get(map[string]string{"a": "1"}); !math.IsInf(v, 1) {
+		t.Fatalf("x{a=1} = %v, want +Inf", v)
+	}
+	if v, _ := x.Get(map[string]string{"a": "2"}); !math.IsInf(v, -1) {
+		t.Fatalf("x{a=2} = %v, want -Inf", v)
+	}
+	if v, _ := x.Get(map[string]string{"a": "3"}); !math.IsNaN(v) {
+		t.Fatalf("x{a=3} = %v, want NaN", v)
+	}
+	if v, _ := x.Get(map[string]string{"a": "4"}); v != 1e9 {
+		t.Fatalf("x{a=4} = %v, want 1e9 (timestamp must be ignored)", v)
+	}
+}
+
+func TestParseEscapedLabels(t *testing.T) {
+	raw := "# TYPE esc counter\nesc{v=\"a\\\\b\\\"c\\nd\"} 1\n"
+	fams, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := "a\\b\"c\nd"
+	if v, ok := fams["esc"].Get(map[string]string{"v": want}); !ok || v != 1 {
+		t.Fatalf("esc{v=%q} = %v, %v; want 1, true", want, v, ok)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"no type", "loose 1\n", "no preceding # TYPE"},
+		{"duplicate family", "# TYPE a counter\n# TYPE a counter\n", "duplicate family"},
+		{"duplicate sample", "# TYPE a counter\na 1\na 2\n", "duplicate sample"},
+		{"duplicate labelled sample", "# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n", "duplicate sample"},
+		{"bad type", "# TYPE a flavor\n", "bad type"},
+		{"bad metric name", "# TYPE 9a counter\n", "bad metric name"},
+		{"bad sample name", "# TYPE a counter\n9a 1\n", "bad sample name"},
+		{"no value", "# TYPE a counter\na\n", "no value"},
+		{"bad value", "# TYPE a counter\na one\n", "bad value"},
+		{"bare histogram name", "# TYPE h histogram\nh 1\n", "no preceding # TYPE"},
+		{"bucket on counter", "# TYPE a counter\na_bucket{le=\"1\"} 1\n", "no preceding # TYPE"},
+		{"summary bucket", "# TYPE s summary\ns_bucket{le=\"1\"} 1\n", "no preceding # TYPE"},
+		{"unclosed label value", "# TYPE a counter\na{x=\"1} 1\n", "never closes"},
+		{"unquoted label value", "# TYPE a counter\na{x=1} 1\n", "not quoted"},
+		{"label without equals", "# TYPE a counter\na{x} 1\n", "label without '='"},
+		{"bad label name", "# TYPE a counter\na{le:x=\"1\"} 1\n", "bad label name"},
+		{"duplicate label", "# TYPE a counter\na{x=\"1\",x=\"2\"} 1\n", "duplicate label"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tc.in, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Parse(%q) = %v, want error containing %q", tc.in, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"help without type", "# HELP a ghost family\n", "HELP but no TYPE"},
+		{"negative counter", "# TYPE a counter\na -1\n", "negative"},
+		{"non-cumulative buckets", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n", "not cumulative"},
+		{"missing inf bucket", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n", "no +Inf bucket"},
+		{"missing count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\n", "no _count"},
+		{"inf count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 6\n", "!= _count"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fams, err := Parse([]byte(tc.in))
+			if err != nil {
+				t.Fatalf("Parse(%q): %v (should only fail Validate)", tc.in, err)
+			}
+			err = Validate(fams)
+			if err == nil {
+				t.Fatalf("Validate(%q) succeeded, want error containing %q", tc.in, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Validate(%q) = %v, want error containing %q", tc.in, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestValidateHistogramPartitions checks that cumulativity is enforced
+// per label partition, not across the whole family.
+func TestValidateHistogramPartitions(t *testing.T) {
+	in := "# TYPE h histogram\n" +
+		"h_bucket{job=\"a\",le=\"1\"} 10\nh_bucket{job=\"a\",le=\"+Inf\"} 10\nh_sum{job=\"a\"} 1\nh_count{job=\"a\"} 10\n" +
+		"h_bucket{job=\"b\",le=\"1\"} 2\nh_bucket{job=\"b\",le=\"+Inf\"} 2\nh_sum{job=\"b\"} 1\nh_count{job=\"b\"} 2\n"
+	fams, err := Parse([]byte(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// job=b's le=1 bucket (2) is below job=a's +Inf (10); only a
+	// partition-blind checker would call that non-cumulative.
+	if err := Validate(fams); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{``, ``},
+		{`plain`, `plain`},
+		{`back\slash`, `back\\slash`},
+		{`"quoted"`, `\"quoted\"`},
+		{"new\nline", `new\nline`},
+		{"mix\\\"\n", `mix\\\"\n`},
+	}
+	for _, tc := range cases {
+		if got := EscapeLabel(tc.in); got != tc.want {
+			t.Errorf("EscapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+		if back := UnescapeLabel(EscapeLabel(tc.in)); back != tc.in {
+			t.Errorf("round-trip of %q came back as %q", tc.in, back)
+		}
+	}
+}
+
+func TestUnescapeLabelLenient(t *testing.T) {
+	// Unknown escapes keep the escaped character; a trailing lone
+	// backslash survives. Matches Prometheus' lenient reader.
+	cases := []struct{ in, want string }{
+		{`\t`, `t`},
+		{`\q`, `q`},
+		{`trailing\`, `trailing\`},
+	}
+	for _, tc := range cases {
+		if got := UnescapeLabel(tc.in); got != tc.want {
+			t.Errorf("UnescapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// FuzzPromEscape asserts the escaping contract the encoder relies on:
+// every string round-trips EscapeLabel → UnescapeLabel unchanged, the
+// escaped form never contains a raw newline or unescaped quote (it must
+// embed in a one-line sample), and a synthesized sample carrying the
+// escaped value parses back to the original string.
+func FuzzPromEscape(f *testing.F) {
+	for _, seed := range []string{"", "plain", `back\slash`, `"q"`, "nl\n", `\`, "a\\\"\nz", "héllo", "\x00\xff"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := EscapeLabel(s)
+		if got := UnescapeLabel(esc); got != s {
+			t.Fatalf("round-trip: %q -> %q -> %q", s, esc, got)
+		}
+		if strings.ContainsRune(esc, '\n') {
+			t.Fatalf("EscapeLabel(%q) = %q still contains a raw newline", s, esc)
+		}
+		for i := 0; i < len(esc); i++ {
+			if esc[i] != '"' {
+				continue
+			}
+			bs := 0
+			for j := i - 1; j >= 0 && esc[j] == '\\'; j-- {
+				bs++
+			}
+			if bs%2 == 0 {
+				t.Fatalf("EscapeLabel(%q) = %q has an unescaped quote at %d", s, esc, i)
+			}
+		}
+		line := fmt.Sprintf("# TYPE f counter\nf{v=\"%s\"} 1\n", esc)
+		fams, err := Parse([]byte(line))
+		if err != nil {
+			t.Fatalf("Parse of escaped %q: %v", s, err)
+		}
+		if v, ok := fams["f"].Get(map[string]string{"v": s}); !ok || v != 1 {
+			t.Fatalf("escaped %q did not parse back: got %v, %v", s, v, ok)
+		}
+	})
+}

@@ -24,6 +24,9 @@
 //	POST   /v1/jobs/{id}/cancel  cancel a queued or running job
 //	DELETE /v1/jobs/{id}         delete a terminal job and its records
 //	GET    /healthz              liveness + queue depth + draining flag
+//	GET    /metrics              Prometheus text exposition (metrics.go)
+//	GET    /v1/events            SSE job lifecycle + progress stream (events.go)
+//	GET    /                     embedded live dashboard (dashboard.go)
 //
 // With Options.DataDir set the server is crash-survivable: submissions,
 // state transitions and per-replicate records are journaled to disk, a
@@ -88,6 +91,11 @@ type Options struct {
 	// JournalBackoff is the initial retry backoff, doubled per attempt
 	// (0: 2ms).
 	JournalBackoff time.Duration
+
+	// EventBuffer is the per-client send buffer of the /v1/events SSE
+	// stream, in events; a client that falls this far behind is dropped
+	// instead of ever blocking the serving path (0: 64).
+	EventBuffer int
 }
 
 // withDefaults resolves the zero values.
@@ -121,6 +129,9 @@ func (o Options) withDefaults() Options {
 	if o.JournalBackoff <= 0 {
 		o.JournalBackoff = 2 * time.Millisecond
 	}
+	if o.EventBuffer <= 0 {
+		o.EventBuffer = 64
+	}
 	return o
 }
 
@@ -132,6 +143,8 @@ type Server struct {
 	pool     *mc.Pool
 	queue    *mc.Queue
 	store    *store
+	met      *serverMetrics
+	hub      *hub
 	jr       *journal // nil without DataDir
 	mux      *http.ServeMux
 	baseCtx  context.Context
@@ -151,11 +164,14 @@ func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	pool := mc.Shared(opts.Workers)
 	ctx, stop := context.WithCancel(context.Background())
+	met := newServerMetrics()
 	s := &Server{
 		opts:    opts,
 		pool:    pool,
 		queue:   mc.NewQueue(pool, opts.Executors, opts.Backlog),
-		store:   newStore(opts.Retain),
+		store:   newStore(opts.Retain, met),
+		met:     met,
+		hub:     newHub(opts.EventBuffer, met),
 		baseCtx: ctx,
 		stop:    stop,
 		syncSem: make(chan struct{}, opts.MaxSync),
@@ -168,6 +184,9 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
 	s.mux = mux
 	if opts.DataDir != "" {
 		jr, rs, err := openJournal(opts.FS, opts.DataDir,
@@ -177,6 +196,7 @@ func New(opts Options) (*Server, error) {
 			stop()
 			return nil, err
 		}
+		jr.met = met
 		s.jr = jr
 		s.restore(rs)
 	}
@@ -217,6 +237,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("service: drain: %w", ctx.Err())
 	}
+	// Every in-flight job has finished and published its terminal event;
+	// end the SSE streams with the shutdown marker before the journal
+	// closes.
+	s.hub.shutdown()
 	if s.jr != nil {
 		s.jr.close(true)
 	}
@@ -231,6 +255,7 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Close() {
 	s.once.Do(func() {
 		s.draining.Store(true)
+		s.hub.shutdown()
 		s.stop()
 		s.store.cancelAll()
 		s.queue.Close()
@@ -257,6 +282,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // handleSubmit decodes, validates and routes one submission.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		s.met.rejectedJob("draining")
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit after the restart")
 		return
@@ -296,6 +322,7 @@ func (s *Server) submitSync(w http.ResponseWriter, r *http.Request, spec JobSpec
 	case s.syncSem <- struct{}{}:
 		defer func() { <-s.syncSem }()
 	default:
+		s.met.rejectedJob("sync_slots_busy")
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "all %d synchronous slots are busy; retry or submit with wait=0", s.opts.MaxSync)
 		return
@@ -308,6 +335,7 @@ func (s *Server) submitSync(w http.ResponseWriter, r *http.Request, spec JobSpec
 	// the flag is clear here, the Add is ordered before Drain's Wait and
 	// the drain covers this job.
 	if s.draining.Load() {
+		s.met.rejectedJob("draining")
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "server is draining; resubmit after the restart")
 		return
@@ -326,9 +354,12 @@ func (s *Server) submitSync(w http.ResponseWriter, r *http.Request, spec JobSpec
 		writeError(w, http.StatusInternalServerError, "could not journal the submission: %v", err)
 		return
 	}
+	s.met.submittedJob("sync")
+	s.publishJob(j)
 	j.setRunning()
 	s.journalRunning(j)
-	_, err := s.pool.Run(ctx, spec.MCJob(), mc.RunOpts{Sink: s.jobSink(j)})
+	s.publishJob(j)
+	_, err := s.pool.Run(ctx, spec.MCJob(), mc.RunOpts{Sink: s.jobSink(j), OnProgress: s.jobProgress(j)})
 	s.finishJob(j, err)
 	info := j.info()
 	status := http.StatusOK
@@ -352,8 +383,9 @@ func (s *Server) submitAsync(w http.ResponseWriter, spec JobSpec) {
 		return
 	}
 	admitted := s.queue.TryEnqueue(ctx, spec.MCJob(), mc.RunOpts{
-		Sink:    s.jobSink(j),
-		OnStart: func() { j.setRunning(); s.journalRunning(j) },
+		Sink:       s.jobSink(j),
+		OnStart:    func() { j.setRunning(); s.journalRunning(j); s.publishJob(j) },
+		OnProgress: s.jobProgress(j),
 	}, func(_ []mc.Record, err error) {
 		s.finishJob(j, err)
 		// Release the context registration on baseCtx; without this every
@@ -364,10 +396,13 @@ func (s *Server) submitAsync(w http.ResponseWriter, spec JobSpec) {
 		cancel()
 		s.store.remove(j.id)
 		s.journalDelete(j.id)
+		s.met.rejectedJob("backlog_full")
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "job backlog is full (%d executors, %d queued); retry later", s.opts.Executors, s.opts.Backlog)
 		return
 	}
+	s.met.submittedJob("async")
+	s.publishJob(j)
 	writeJSON(w, http.StatusAccepted, j.info())
 }
 
@@ -448,6 +483,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		// journal their terminal state from the executor's finish path.
 		s.journalTerminal(j, StateCancelled, context.Canceled.Error())
 		s.store.noteTerminal(j.id)
+		s.publishJob(j)
 	}
 	writeJSON(w, http.StatusOK, j.info())
 }
@@ -466,6 +502,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.journalDelete(id)
+	s.met.jobDeleted()
+	s.hub.publish(Event{Type: "deleted", ID: id, Backlog: s.queue.Backlog()})
 	w.WriteHeader(http.StatusNoContent)
 }
 

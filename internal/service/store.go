@@ -52,6 +52,9 @@ type JobInfo struct {
 	// Aggregate summarizes the completed records once the job is terminal
 	// (partial on cancellation).
 	Aggregate *Aggregate `json:"aggregate,omitempty"`
+	// Evicted marks a tombstoned job: its records were dropped from memory
+	// to bound retention and are only servable from the journal.
+	Evicted bool `json:"evicted,omitempty"`
 }
 
 // jobState is one tracked job. recs only grows, and only before the state
@@ -64,6 +67,12 @@ type jobState struct {
 	// syncPath marks jobs running on a request goroutine: their lifetime
 	// is the request's, so shutdown cancellation is terminal for them.
 	syncPath bool
+	// met receives lifecycle gauge transitions; engLabel/ruleLabel are the
+	// resolved engine and rule this job's replicate counters are labelled
+	// with (computed once at creation — resolveEngine is pure).
+	met       *serverMetrics
+	engLabel  string
+	ruleLabel string
 
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -79,10 +88,16 @@ type jobState struct {
 	tomb    *JobInfo
 }
 
-// newJobState builds a queued job.
-func newJobState(id string, spec JobSpec, cancel context.CancelFunc) *jobState {
-	j := &jobState{id: id, spec: spec, cancel: cancel, state: StateQueued}
+// newJobState builds a queued job and counts it into the queued gauge.
+func newJobState(id string, spec JobSpec, cancel context.CancelFunc, met *serverMetrics) *jobState {
+	j := &jobState{id: id, spec: spec, cancel: cancel, state: StateQueued, met: met}
 	j.cond = sync.NewCond(&j.mu)
+	j.engLabel = "invalid"
+	if eng, err := spec.resolveEngine(); err == nil {
+		j.engLabel = eng
+	}
+	j.ruleLabel = spec.Rule
+	met.jobTransition("", StateQueued)
 	return j
 }
 
@@ -92,6 +107,7 @@ func (j *jobState) setRunning() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if !j.state.Terminal() {
+		j.met.jobTransition(j.state, StateRunning)
 		j.state = StateRunning
 		j.cond.Broadcast()
 	}
@@ -115,6 +131,7 @@ func (j *jobState) finish(err error) (State, bool) {
 	if j.state.Terminal() {
 		return j.state, false
 	}
+	from := j.state
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -125,6 +142,7 @@ func (j *jobState) finish(err error) (State, bool) {
 		j.state = StateFailed
 		j.err = err
 	}
+	j.met.jobFinished(from, j.state)
 	j.cond.Broadcast()
 	return j.state, true
 }
@@ -141,6 +159,7 @@ func (j *jobState) requestCancel(user bool) bool {
 	}
 	transitioned := false
 	if j.state == StateQueued {
+		j.met.jobFinished(StateQueued, StateCancelled)
 		j.state = StateCancelled
 		j.err = context.Canceled
 		j.cond.Broadcast()
@@ -166,11 +185,15 @@ func (j *jobState) adopt(recs []mc.Record, st State, errmsg string) {
 	defer j.mu.Unlock()
 	j.recs = recs
 	if st.Terminal() {
+		// Gauge only: this process did not perform the terminal transition,
+		// so jobs_finished_total must not count it.
+		j.met.jobTransition(StateQueued, st)
 		j.state = st
 		if errmsg != "" {
 			j.err = errors.New(errmsg)
 		}
 	}
+	j.met.replicatesResumed(j.engLabel, j.ruleLabel, len(recs))
 }
 
 // evict drops a terminal job's records to bound memory, leaving a
@@ -184,9 +207,19 @@ func (j *jobState) evict() {
 		return
 	}
 	info := j.infoLocked()
+	info.Evicted = true
 	j.tomb = &info
 	j.recs = nil
 	j.evicted = true
+	j.met.jobEvicted()
+}
+
+// forget removes the job from the lifecycle gauges (deletion or
+// queue-full rollback).
+func (j *jobState) forget() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.met.jobTransition(j.state, "")
 }
 
 // isEvicted reports whether the job's records were dropped from memory.
@@ -280,6 +313,8 @@ func (j *jobState) streamRecords(ctx context.Context, w io.Writer, follow bool, 
 // beyond retain of them, the least-recently-touched are evicted to
 // tombstones (their records stay servable from the journal).
 type store struct {
+	met *serverMetrics
+
 	mu     sync.Mutex
 	jobs   map[string]*jobState
 	order  []string
@@ -288,8 +323,8 @@ type store struct {
 	lru    []string
 }
 
-func newStore(retain int) *store {
-	return &store{jobs: map[string]*jobState{}, retain: retain}
+func newStore(retain int, met *serverMetrics) *store {
+	return &store{met: met, jobs: map[string]*jobState{}, retain: retain}
 }
 
 // create registers a new queued job.
@@ -298,7 +333,7 @@ func (s *store) create(spec JobSpec, cancel context.CancelFunc) *jobState {
 	defer s.mu.Unlock()
 	s.next++
 	id := fmt.Sprintf("j%d", s.next)
-	j := newJobState(id, spec, cancel)
+	j := newJobState(id, spec, cancel, s.met)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	return j
@@ -326,7 +361,7 @@ func (s *store) restore(id string, spec JobSpec, cancel context.CancelFunc) *job
 	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > s.next {
 		s.next = n
 	}
-	j := newJobState(id, spec, cancel)
+	j := newJobState(id, spec, cancel, s.met)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	return j
@@ -392,6 +427,7 @@ func (s *store) deleteTerminal(id string) (found, deleted bool) {
 			break
 		}
 	}
+	j.forget()
 	return true, true
 }
 
@@ -400,6 +436,10 @@ func (s *store) deleteTerminal(id string) (found, deleted bool) {
 func (s *store) remove(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
 	delete(s.jobs, id)
 	for i, other := range s.order {
 		if other == id {
@@ -407,6 +447,7 @@ func (s *store) remove(id string) {
 			break
 		}
 	}
+	j.forget()
 }
 
 // get looks a job up by ID.
