@@ -10,6 +10,8 @@ package plurality_test
 
 import (
 	"fmt"
+	"io"
+	"path/filepath"
 	"testing"
 
 	"plurality/internal/colorcfg"
@@ -170,6 +172,50 @@ func BenchmarkEngineGraphRoundSparse(b *testing.B) {
 				e.Step(nil)
 			}
 		})
+	}
+}
+
+// BenchmarkEngineGraphRoundImplicit measures the zero-materialization
+// backend: one synchronous 3-majority round on an implicit 3-torus at
+// n = 10⁶ (100³). Nothing but the color arrays exists in memory — this is
+// the per-round cost model for the n = 10⁹ regime, where adjacency would
+// be 48 GB as a CSR but is 0 B here.
+func BenchmarkEngineGraphRoundImplicit(b *testing.B) {
+	const n = 1_000_000 // 100³
+	src, err := topo.BuildSource("torus:3", n, nil, topo.BuildOpts{Mode: topo.ModeImplicit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := engine.NewGraphEngine(dynamics.ThreeMajority{}, src,
+		colorcfg.Biased(n, 8, n/100), 4, 19, rng.New(6))
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step(nil)
+	}
+}
+
+// BenchmarkEngineGraphRoundMmap measures the disk-backed backend: the same
+// 8-regular n = 10⁶ workload as the Sparse bench, but served from a
+// memory-mapped CSR file instead of heap slices — the generic sampling
+// path plus page-cache reads, the cost model for graphs bigger than RAM.
+func BenchmarkEngineGraphRoundMmap(b *testing.B) {
+	const n = 1_000_000
+	path := filepath.Join(b.TempDir(), "regular8.csr")
+	src, err := topo.BuildSource("regular:8", n, rng.New(4),
+		topo.BuildOpts{Mode: topo.ModeMmap, Path: path})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.(io.Closer).Close()
+	e := engine.NewGraphEngine(dynamics.ThreeMajority{}, src,
+		colorcfg.Biased(n, 8, n/100), 4, 17, rng.New(5))
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step(nil)
 	}
 }
 

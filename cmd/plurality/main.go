@@ -8,6 +8,8 @@
 //	plurality -rule hplurality:9 -engine sampled -n 50000 -k 16 -bias auto
 //	plurality -rule undecided -n 100000 -k 8 -bias 20000
 //	plurality -engine graph -graph torus -n 10000 -k 4 -bias 2000
+//	plurality -engine graph -graph torus:3 -graph-mode implicit -n 1000000000 -k 3 -bias auto
+//	plurality -engine graph -graph smallworld:2:0.1 -graph-mode mmap -graph-file /data/sw.csr -n 100000000 -k 3 -bias auto
 //	plurality -adversary strongest:200 -n 200000 -k 4 -bias auto
 package main
 
@@ -33,6 +35,8 @@ func main() {
 		ruleName  = flag.String("rule", "3majority", "dynamics: 3majority | 3majority-utie | hplurality:H | median | polling | 2choices | 2choices-keepown | undecided")
 		engName   = flag.String("engine", "auto", "engine: auto | multinomial | sampled | graph | population")
 		graphName = flag.String("graph", "complete", "topology for -engine graph (internal/topo registry spec): complete | cycle | star | torus[:DIMS] | hypercube | regular:D | gnp:P | smallworld:K:BETA | ba:M | sbm:B:PIN:POUT | barbell:D")
+		graphMode = flag.String("graph-mode", "auto", "topology backend for -engine graph: auto | implicit (zero materialization) | csr (force in-RAM) | mmap (serve from -graph-file, building it first if absent)")
+		graphFile = flag.String("graph-file", "", "CSR file for -graph-mode mmap (created atomically when missing)")
 		n         = flag.Int64("n", 100_000, "number of agents")
 		k         = flag.Int("k", 8, "number of colors")
 		biasFlag  = flag.String("bias", "auto", "initial additive bias (integer) or 'auto' for the Corollary 1 threshold")
@@ -47,16 +51,16 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*ruleName, *engName, *graphName, *n, *k, *biasFlag, *seed,
+	if err := run(*ruleName, *engName, *graphName, *graphMode, *graphFile, *n, *k, *biasFlag, *seed,
 		*maxRounds, *advName, *workers, *trace, *mPlur, *dumpPath, *phases); err != nil {
 		fmt.Fprintln(os.Stderr, "plurality:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ruleName, engName, graphName string, n int64, k int, biasFlag string,
-	seed uint64, maxRounds int, advName string, workers int, traceRounds bool,
-	mPlur int64, dumpPath string, phases bool) error {
+func run(ruleName, engName, graphName, graphMode, graphFile string, n int64, k int,
+	biasFlag string, seed uint64, maxRounds int, advName string, workers int,
+	traceRounds bool, mPlur int64, dumpPath string, phases bool) error {
 
 	bias, err := parseBias(biasFlag, n, k)
 	if err != nil {
@@ -78,7 +82,7 @@ func run(ruleName, engName, graphName string, n int64, k int, biasFlag string,
 		if err != nil {
 			return err
 		}
-		eng, err = buildEngine(engName, graphName, rule, init, workers, seed, r)
+		eng, err = buildEngine(engName, graphName, graphMode, graphFile, rule, init, workers, seed, r)
 		if err != nil {
 			return err
 		}
@@ -163,8 +167,8 @@ func parseRule(s string) (dynamics.Rule, error) {
 	return dynamics.ParseRule(s)
 }
 
-func buildEngine(engName, graphName string, rule dynamics.Rule, init colorcfg.Config,
-	workers int, seed uint64, r *rng.Rand) (engine.Engine, error) {
+func buildEngine(engName, graphName, graphMode, graphFile string, rule dynamics.Rule,
+	init colorcfg.Config, workers int, seed uint64, r *rng.Rand) (engine.Engine, error) {
 	if engName == "auto" {
 		if _, ok := rule.(dynamics.ProbModel); ok {
 			engName = "multinomial"
@@ -181,8 +185,17 @@ func buildEngine(engName, graphName string, rule dynamics.Rule, init colorcfg.Co
 		return engine.NewPopulation(rule, init), nil
 	case "graph":
 		// Topology specs resolve through the internal/topo registry —
-		// the same names sweep, the service, and validate accept.
-		g, err := topo.Build(graphName, init.N(), r)
+		// the same names sweep, the service, and validate accept. The
+		// backend mode picks the representation (implicit / in-RAM CSR /
+		// mmap); every mode yields the same seeded run.
+		mode, err := topo.ParseMode(graphMode)
+		if err != nil {
+			return nil, err
+		}
+		if mode == topo.ModeMmap && graphFile == "" {
+			return nil, fmt.Errorf("-graph-mode mmap needs -graph-file")
+		}
+		g, err := topo.BuildSource(graphName, init.N(), r, topo.BuildOpts{Mode: mode, Path: graphFile})
 		if err != nil {
 			return nil, err
 		}

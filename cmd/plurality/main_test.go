@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"testing"
 
 	"plurality/internal/colorcfg"
@@ -60,7 +61,7 @@ func TestBuildEngineGraphSpecs(t *testing.T) {
 		if spec == "hypercube" {
 			n = 128
 		}
-		e, err := buildEngine("graph", spec, dynamics.ThreeMajority{},
+		e, err := buildEngine("graph", spec, "auto", "", dynamics.ThreeMajority{},
 			colorcfg.Biased(n, 3, 20), 1, 5, r)
 		if err != nil {
 			t.Errorf("buildEngine(graph, %q): %v", spec, err)
@@ -72,13 +73,37 @@ func TestBuildEngineGraphSpecs(t *testing.T) {
 		e.Close()
 	}
 	for _, bad := range []string{"nope", "regular:x", "gnp:y", "torus:0"} {
-		if _, err := buildEngine("graph", bad, dynamics.ThreeMajority{}, init, 1, 5, r); err == nil {
+		if _, err := buildEngine("graph", bad, "auto", "", dynamics.ThreeMajority{}, init, 1, 5, r); err == nil {
 			t.Errorf("buildEngine(graph, %q) should fail", bad)
 		}
 	}
-	if _, err := buildEngine("graph", "torus", dynamics.ThreeMajority{},
+	if _, err := buildEngine("graph", "torus", "auto", "", dynamics.ThreeMajority{},
 		colorcfg.Biased(101, 3, 20), 1, 5, r); err == nil {
 		t.Error("non-square torus accepted")
+	}
+
+	// Backend modes: implicit needs no file, mmap builds one and reuses it,
+	// and mmap without a path is rejected up front.
+	for _, mode := range []string{"implicit", "csr"} {
+		e, err := buildEngine("graph", "torus", mode, "", dynamics.ThreeMajority{}, init, 1, 5, r)
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		e.Close()
+	}
+	path := filepath.Join(t.TempDir(), "t.csr")
+	for i := 0; i < 2; i++ { // second pass exercises cache reuse
+		e, err := buildEngine("graph", "torus", "mmap", path, dynamics.ThreeMajority{}, init, 1, 5, r)
+		if err != nil {
+			t.Fatalf("mmap pass %d: %v", i, err)
+		}
+		e.Close()
+	}
+	if _, err := buildEngine("graph", "torus", "mmap", "", dynamics.ThreeMajority{}, init, 1, 5, r); err == nil {
+		t.Error("mmap without -graph-file accepted")
+	}
+	if _, err := buildEngine("graph", "torus", "nope", "", dynamics.ThreeMajority{}, init, 1, 5, r); err == nil {
+		t.Error("unknown graph mode accepted")
 	}
 }
 
@@ -107,28 +132,28 @@ func TestParseAdversary(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	// Small end-to-end run through the CLI plumbing (no flags).
-	err := run("3majority", "auto", "complete", 2000, 3, "auto", 1, 10000,
+	err := run("3majority", "auto", "complete", "auto", "", 2000, 3, "auto", 1, 10000,
 		"none", 2, false, -1, "", false)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// Undecided path.
-	err = run("undecided", "auto", "complete", 2000, 3, "500", 1, 10000,
+	err = run("undecided", "auto", "complete", "auto", "", 2000, 3, "500", 1, 10000,
 		"none", 2, false, -1, "", false)
 	if err != nil {
 		t.Fatalf("run undecided: %v", err)
 	}
 	// Keep-own path with adversary and M-plurality stop.
-	err = run("2choices-keepown", "auto", "complete", 2000, 3, "auto", 1, 10000,
+	err = run("2choices-keepown", "auto", "complete", "auto", "", 2000, 3, "auto", 1, 10000,
 		"strongest:2", 2, false, 50, "", true)
 	if err != nil {
 		t.Fatalf("run keep-own: %v", err)
 	}
 	// Error paths.
-	if err := run("nope", "auto", "complete", 100, 2, "auto", 1, 10, "none", 1, false, -1, "", false); err == nil {
+	if err := run("nope", "auto", "complete", "auto", "", 100, 2, "auto", 1, 10, "none", 1, false, -1, "", false); err == nil {
 		t.Error("bad rule accepted")
 	}
-	if err := run("3majority", "nope", "complete", 100, 2, "auto", 1, 10, "none", 1, false, -1, "", false); err == nil {
+	if err := run("3majority", "nope", "complete", "auto", "", 100, 2, "auto", 1, 10, "none", 1, false, -1, "", false); err == nil {
 		t.Error("bad engine accepted")
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -41,7 +42,6 @@ import (
 	"plurality/internal/core"
 	"plurality/internal/dynamics"
 	"plurality/internal/engine"
-	"plurality/internal/graph"
 	"plurality/internal/mc"
 	"plurality/internal/rng"
 	"plurality/internal/topo"
@@ -54,6 +54,8 @@ const csvHeader = "rule,graph,n,k,bias_mult,bias,reps,rounds_mean,rounds_std,suc
 type config struct {
 	rules     string
 	graphs    string
+	graphMode string
+	graphDir  string
 	ns        string
 	ks        string
 	cs        string
@@ -71,6 +73,8 @@ func main() {
 	flag.StringVar(&cfg.rules, "rules", "3majority", "comma-separated rules: 3majority | 3majority-utie | median | polling | 2choices | hplurality:H")
 	flag.StringVar(&cfg.graphs, "graphs", "complete",
 		"comma-separated topology specs ("+strings.Join(topo.FamilyUsages(), " | ")+")")
+	flag.StringVar(&cfg.graphMode, "graph-mode", "auto", "topology backend: auto | implicit | csr | mmap (mmap caches built graphs under -graph-dir, keyed by spec, n, and graph seed)")
+	flag.StringVar(&cfg.graphDir, "graph-dir", "", "directory for -graph-mode mmap CSR files (required there)")
 	flag.StringVar(&cfg.ns, "ns", "100000", "comma-separated population sizes")
 	flag.StringVar(&cfg.ks, "ks", "2,8,32", "comma-separated color counts")
 	flag.StringVar(&cfg.cs, "cs", "1", "comma-separated bias multipliers applied to the Cor-1 threshold")
@@ -99,6 +103,11 @@ func main() {
 func run(ctx context.Context, cfg config) error {
 	if cfg.format != "csv" && cfg.format != "jsonl" {
 		return fmt.Errorf("unknown -format %q (want csv or jsonl)", cfg.format)
+	}
+	if mode, err := topo.ParseMode(cfg.graphMode); err != nil {
+		return err
+	} else if mode == topo.ModeMmap && cfg.graphDir == "" {
+		return errors.New("-graph-mode mmap requires -graph-dir")
 	}
 	var done map[string]map[int]mc.Record
 	if cfg.resume {
@@ -282,8 +291,17 @@ func runCell(ctx context.Context, cfg config, pool *mc.Pool, w io.Writer,
 	name := cellName(rule.Name(), gname, n, k, c)
 	_, isProb := rule.(dynamics.ProbModel)
 	onClique := gname == "complete"
-	sharedGraph := sync.OnceValue(func() graph.Graph {
-		g, err := topo.Build(gname, n, rng.New(cellSeed(cfg.seed, "graph/"+name)))
+	sharedGraph := sync.OnceValue(func() topo.NeighborSource {
+		// The graph seed is a pure function of (base seed, cell name), so
+		// in mmap mode the cache file name is too: re-running the same
+		// sweep reuses the on-disk graph instead of rebuilding it.
+		mode, _ := topo.ParseMode(cfg.graphMode)
+		gseed := cellSeed(cfg.seed, "graph/"+name)
+		opts := topo.BuildOpts{Mode: mode}
+		if mode == topo.ModeMmap {
+			opts.Path = filepath.Join(cfg.graphDir, topo.CacheFileName(gname, n, gseed))
+		}
+		g, err := topo.BuildSource(gname, n, rng.New(gseed), opts)
 		if err != nil {
 			panic(fmt.Sprintf("sweep: graph revalidation failed for %q: %v", gname, err))
 		}

@@ -13,10 +13,11 @@ import (
 	"plurality/internal/topo"
 )
 
-// hiddenCSR wraps a *topo.CSR so NewGraphEngine's type assertion fails and
-// the engine takes the generic graph.Graph interface path over the exact
-// same structure.
-type hiddenCSR struct{ *topo.CSR }
+// hiddenCSR wraps a CSR behind a bare interface (embedding the interface,
+// not the concrete type, so FlatRows is not promoted) — NewGraphEngine's
+// topo.Flat assertion fails and the engine takes the generic
+// NeighborSource path over the exact same structure.
+type hiddenCSR struct{ graph.Graph }
 
 // TestGraphEngineCSRByteContract pins the representation-independence
 // contract: the CSR direct-slice path and the graph.Graph interface path
@@ -28,8 +29,8 @@ func TestGraphEngineCSRByteContract(t *testing.T) {
 	for _, workers := range []int{1, 3} {
 		fast := NewGraphEngine(dynamics.ThreeMajority{}, csr, init, workers, 77, rng.New(5))
 		slow := NewGraphEngine(dynamics.ThreeMajority{}, hiddenCSR{csr}, init, workers, 77, rng.New(5))
-		if fast.csr == nil || slow.csr != nil {
-			t.Fatal("fast-path detection broken: want CSR path vs interface path")
+		if fast.offsets == nil || slow.offsets != nil {
+			t.Fatal("fast-path detection broken: want flat path vs generic path")
 		}
 		for round := 0; round < 12; round++ {
 			fast.Step(nil)

@@ -18,6 +18,16 @@ import (
 // IncludeSelf it realizes exactly the paper's model and is used to
 // cross-validate the configuration-level clique engines.
 //
+// The engine consumes its topology through topo.NeighborSource — the
+// minimal sampling surface shared by implicit graphs (neighbors computed
+// functionally, zero materialization), in-RAM CSRs, mmap-backed CSRs, and
+// the legacy graph package (whose interface is the same method set, so
+// legacy values pass through by plain conversion). Every source honors the
+// same rng byte contract (one Int63n(degree) per sample, none for an
+// isolated vertex), so swapping a graph's representation never perturbs a
+// seeded run; only memory residency changes. That is what takes sparse
+// runs past RAM: implicit torus to n = 10⁹, mmap smallworld to n = 10⁸.
+//
 // Vertices are sharded across worker goroutines with independent rng
 // streams, so a run is deterministic for a fixed (seed, workers) pair. The
 // goroutines are persistent (workerPool), so a steady-state Step performs
@@ -32,25 +42,26 @@ import (
 // processes are identical in distribution; the fast path just trades n
 // random memory reads per round for k-sized table lookups.
 //
-// Materialized topologies built by internal/topo (*topo.CSR) take a second
-// fast path: workers sample straight out of the flat offsets/neighbors
-// arrays instead of going through the graph.Graph interface. The rng
-// consumption (one Int63n(degree) per sample) is byte-identical to the
-// interface path, so swapping a graph's representation never perturbs a
-// seeded run; the direct path just removes two interface calls per sample
-// from the hot loop, which is what makes n = 10⁷ graph rounds practical.
+// Sources exposing topo.Flat (in-RAM CSR, the legacy adjacency list) take
+// a second fast path: workers sample straight out of the flat
+// offsets/neighbors arrays, removing two interface calls per sample from
+// the hot loop — which is what makes n = 10⁷ in-RAM graph rounds
+// practical. Everything else (implicit families, mmap) runs the one
+// generic NeighborSource loop.
 type GraphEngine struct {
 	rule  dynamics.Rule
-	g     graph.Graph
+	src   topo.NeighborSource
 	bufs  *graphBuffers
 	cfg   colorcfg.Config
 	round int
 	// alias is non-nil only on the complete+self fast path.
 	alias *dist.Alias
-	// csr is non-nil only when g is a materialized *topo.CSR.
-	csr     *topo.CSR
-	workers []*graphWorker
-	pool    *workerPool
+	// offsets/neighbors are non-nil only when src exposes topo.Flat; the
+	// workers then index these arrays directly.
+	offsets   []int64
+	neighbors []int64
+	workers   []*graphWorker
+	pool      *workerPool
 }
 
 // graphBuffers holds the double-buffered vertex color arrays. They live in
@@ -69,12 +80,14 @@ type graphWorker struct {
 	buf   []Color // h scratch colors; a batch multiple on the clique path
 }
 
-// NewGraphEngine builds the engine. The initial configuration is laid out
-// over the vertices in color blocks and then shuffled with layoutRng so
-// that topology experiments are not biased by block placement (on the
-// clique the layout is irrelevant). workers <= 1 runs single-threaded.
-func NewGraphEngine(rule dynamics.Rule, g graph.Graph, initial colorcfg.Config, workers int, seed uint64, layoutRng *rng.Rand) *GraphEngine {
-	n := g.N()
+// NewGraphEngine builds the engine over any topo.NeighborSource (legacy
+// graph.Graph values convert implicitly — same method set). The initial
+// configuration is laid out over the vertices in color blocks and then
+// shuffled with layoutRng so that topology experiments are not biased by
+// block placement (on the clique the layout is irrelevant). workers <= 1
+// runs single-threaded.
+func NewGraphEngine(rule dynamics.Rule, src topo.NeighborSource, initial colorcfg.Config, workers int, seed uint64, layoutRng *rng.Rand) *GraphEngine {
+	n := src.N()
 	if initial.N() != n {
 		panic(fmt.Sprintf("engine: configuration has %d agents but graph has %d vertices", initial.N(), n))
 	}
@@ -90,7 +103,7 @@ func NewGraphEngine(rule dynamics.Rule, g graph.Graph, initial colorcfg.Config, 
 	}
 	e := &GraphEngine{
 		rule: rule,
-		g:    g,
+		src:  src,
 		bufs: &graphBuffers{
 			colors: initial.ToAgents(nil),
 			next:   make([]Color, n),
@@ -102,10 +115,10 @@ func NewGraphEngine(rule dynamics.Rule, g graph.Graph, initial colorcfg.Config, 
 			e.bufs.colors[i], e.bufs.colors[j] = e.bufs.colors[j], e.bufs.colors[i]
 		})
 	}
-	if c, ok := g.(graph.Complete); ok && c.IncludeSelf {
+	if c, ok := src.(graph.Complete); ok && c.IncludeSelf {
 		e.alias = dist.NewAliasCounts(initial)
-	} else if csr, ok := g.(*topo.CSR); ok {
-		e.csr = csr
+	} else if flat, ok := src.(topo.Flat); ok {
+		e.offsets, e.neighbors = flat.FlatRows()
 	}
 	streams := rng.Streams(seed, workers)
 	tallies := paddedTallies(workers, initial.K())
@@ -125,9 +138,9 @@ func NewGraphEngine(rule dynamics.Rule, g graph.Graph, initial colorcfg.Config, 
 	}
 	if workers > 1 {
 		fns := make([]func(), workers)
-		g, csr, rule, alias, bufs := e.g, e.csr, e.rule, e.alias, e.bufs
+		src, offsets, neighbors, rule, alias, bufs := e.src, e.offsets, e.neighbors, e.rule, e.alias, e.bufs
 		for i, w := range e.workers {
-			fns[i] = func() { w.run(g, csr, rule, alias, bufs) }
+			fns[i] = func() { w.run(src, offsets, neighbors, rule, alias, bufs) }
 		}
 		e.pool = attachPool(e, fns)
 	}
@@ -145,11 +158,11 @@ func (e *GraphEngine) Close() {
 
 // Name implements Engine.
 func (e *GraphEngine) Name() string {
-	return fmt.Sprintf("graph[%s,%s,w=%d]", e.g.Name(), e.rule.Name(), len(e.workers))
+	return fmt.Sprintf("graph[%s,%s,w=%d]", e.src.Name(), e.rule.Name(), len(e.workers))
 }
 
 // N implements Engine.
-func (e *GraphEngine) N() int64 { return e.g.N() }
+func (e *GraphEngine) N() int64 { return e.src.N() }
 
 // K implements Engine.
 func (e *GraphEngine) K() int { return e.cfg.K() }
@@ -170,7 +183,7 @@ func (e *GraphEngine) Step(_ *rng.Rand) {
 		e.alias.ResetCounts(e.cfg)
 	}
 	if e.pool == nil {
-		e.workers[0].run(e.g, e.csr, e.rule, e.alias, e.bufs)
+		e.workers[0].run(e.src, e.offsets, e.neighbors, e.rule, e.alias, e.bufs)
 	} else {
 		e.pool.step()
 	}
@@ -185,7 +198,7 @@ func (e *GraphEngine) Step(_ *rng.Rand) {
 }
 
 // run processes the worker's vertex shard into bufs.next.
-func (w *graphWorker) run(g graph.Graph, csr *topo.CSR, rule dynamics.Rule, alias *dist.Alias, bufs *graphBuffers) {
+func (w *graphWorker) run(src topo.NeighborSource, offsets, neighbors []int64, rule dynamics.Rule, alias *dist.Alias, bufs *graphBuffers) {
 	clear(w.tally)
 	next := bufs.next
 	h := rule.SampleSize()
@@ -206,12 +219,11 @@ func (w *graphWorker) run(g graph.Graph, csr *topo.CSR, rule dynamics.Rule, alia
 		return
 	}
 	colors := bufs.colors
-	if csr != nil {
-		// CSR fast path: sample straight from the flat arrays. Same rng
-		// stream as the interface path (one Int63n(degree) per draw);
-		// isolated vertices sample themselves, matching
-		// CSR.SampleNeighbor.
-		offsets, neighbors := csr.Offsets, csr.Neighbors
+	if offsets != nil {
+		// Flat fast path: sample straight from the offset/neighbor arrays.
+		// Same rng stream as the interface path (one Int63n(degree) per
+		// draw); isolated vertices sample themselves, matching
+		// SampleNeighbor.
 		for v := w.from; v < w.to; v++ {
 			lo := offsets[v]
 			d := offsets[v+1] - lo
@@ -228,9 +240,12 @@ func (w *graphWorker) run(g graph.Graph, csr *topo.CSR, rule dynamics.Rule, alia
 		}
 		return
 	}
+	// Generic path: any NeighborSource (implicit families, mmap CSRs,
+	// opaque graphs). The source's SampleNeighbor contract guarantees the
+	// identical rng stream.
 	for v := w.from; v < w.to; v++ {
 		for s := 0; s < h; s++ {
-			w.buf[s] = colors[g.SampleNeighbor(v, w.r)]
+			w.buf[s] = colors[src.SampleNeighbor(v, w.r)]
 		}
 		c := rule.Apply(w.buf[:h], w.r)
 		next[v] = c

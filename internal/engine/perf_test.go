@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"io"
+	"path/filepath"
 	"testing"
 
 	"plurality/internal/colorcfg"
@@ -14,11 +16,29 @@ import (
 
 // TestStepZeroAllocs pins the headline perf property: the steady-state Step
 // of every engine allocates nothing, including the multi-worker engines
-// (persistent worker pools) and the graph engine on both the clique fast
-// path and the general adjacency path.
+// (persistent worker pools) and the graph engine on every backend — the
+// clique alias path, the flat CSR path, the implicit functional path, and
+// the mmap-backed path.
 func TestStepZeroAllocs(t *testing.T) {
 	r := rng.New(1)
 	init := colorcfg.Biased(20_000, 8, 500)
+
+	// The implicit torus samples neighbors functionally — nothing but the
+	// color arrays is materialized. n must be an exact cube for torus:3.
+	initTorus := colorcfg.Biased(13_824, 8, 500) // 24³
+	torus, err := topo.BuildSource("torus:3", 13_824, nil, topo.BuildOpts{Mode: topo.ModeImplicit})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The mmap backend serves the same structure from an on-disk file.
+	mmapPath := filepath.Join(t.TempDir(), "regular8.csr")
+	mmapSrc, err := topo.BuildSource("regular:8", 20_000, rng.New(2), topo.BuildOpts{Mode: topo.ModeMmap, Path: mmapPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mmapSrc.(io.Closer).Close()
+
 	cases := map[string]Engine{
 		"clique-multinomial": NewCliqueMultinomial(dynamics.ThreeMajority{}, init),
 		"clique-markov":      NewCliqueMarkov(dynamics.ThreeMajorityKeepOwn{}, init),
@@ -30,6 +50,10 @@ func TestStepZeroAllocs(t *testing.T) {
 			graph.NewRandomRegular(20_000, 8, rng.New(2)), init, 4, 11, nil),
 		"graph-csr-w4": NewGraphEngine(dynamics.ThreeMajority{},
 			topo.RandomRegular("regular:8", 20_000, 8, rng.New(2)), init, 4, 11, nil),
+		"graph-implicit-w4": NewGraphEngine(dynamics.ThreeMajority{},
+			torus, initTorus, 4, 11, nil),
+		"graph-mmap-w4": NewGraphEngine(dynamics.ThreeMajority{},
+			mmapSrc, init, 4, 11, nil),
 		"undecided-exact": NewUndecidedExact(init),
 	}
 	for name, e := range cases {

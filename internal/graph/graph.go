@@ -15,6 +15,13 @@ import (
 // Graph is a static undirected topology over vertices [0, n). Engines only
 // require uniform neighbor sampling; Degree and Neighbor expose the
 // structure for tests and for exhaustive iteration.
+//
+// Deprecated as an engine-facing contract: the engine now consumes
+// topo.NeighborSource, which has this exact method set — every Graph value
+// satisfies it by plain interface conversion, so existing callers keep
+// working, but new topology backends belong in internal/topo (see
+// DESIGN.md §11 for the migration notes). This package remains the home
+// of the small closed-form graphs the topo registry builds on.
 type Graph interface {
 	// Name identifies the topology in experiment tables.
 	Name() string
@@ -263,6 +270,12 @@ func (g *AdjList) SampleNeighbor(v int64, r *rng.Rand) int64 {
 	}
 	return g.Adj[g.Offsets[v]+r.Int63n(d)]
 }
+
+// FlatRows exposes the flat CSR arrays (topo.Flat), so legacy adjacency
+// lists take the engine's flat fast path like any other materialized
+// representation. The flat loop consumes the rng identically to
+// SampleNeighbor, so this changes nothing about seeded runs.
+func (g *AdjList) FlatRows() (offsets, neighbors []int64) { return g.Offsets, g.Adj }
 
 // buildCSR converts per-vertex neighbor slices into CSR form.
 func buildCSR(name string, nbrs [][]int64) *AdjList {

@@ -35,11 +35,17 @@ const (
 	// MaxNSampled bounds n for the O(n)-per-round agent-level engines
 	// (sampled, population).
 	MaxNSampled = 100_000_000
-	// MaxNGraph bounds n for the graph engine, which materializes per-agent
-	// color state; the per-family adjacency memory is capped separately by
-	// topo.MaxAdjEntries inside the registry validation. The CSR-sharded
-	// engine sustains rounds at this scale in well under 2 GB.
+	// MaxNGraph bounds n for the graph engine on materialized families,
+	// which hold the full adjacency in RAM; the per-family adjacency memory
+	// is capped separately by topo.MaxAdjEntries inside the registry
+	// validation. The CSR-sharded engine sustains rounds at this scale in
+	// well under 2 GB.
 	MaxNGraph = 10_000_000
+	// MaxNGraphImplicit bounds n for the graph engine on implicit families
+	// (topo.IsImplicit: complete, cycle, star, torus, hypercube), whose
+	// neighbors are computed rather than stored — the only per-agent memory
+	// is the color arrays, so the cap matches the exact engines'.
+	MaxNGraphImplicit = 1_000_000_000
 	// DefaultMaxRounds is applied when a spec omits max_rounds.
 	DefaultMaxRounds = 200_000
 )
@@ -154,15 +160,33 @@ func (s *JobSpec) resolveEngine() (string, error) {
 	return eng, nil
 }
 
+// graphMaxN is the n cap for the spec's graph family: implicit families
+// carry no adjacency and get the generous cap; anything else (including an
+// unknown family — topo.Validate reports those) gets the materialized cap.
+func (s *JobSpec) graphMaxN() int64 {
+	if implicit, err := topo.IsImplicit(s.Graph); err == nil && implicit {
+		return MaxNGraphImplicit
+	}
+	return MaxNGraph
+}
+
 // checkGraph validates the Graph field through the topo registry so a bad
 // topology is a 400, not a crash. The n cap comes first: it bounds every
 // number the registry's constant-time validation arithmetic sees, so a
-// hostile spec can neither overflow nor spin.
+// hostile spec can neither overflow nor spin. A registry size-cap
+// rejection (topo.ErrTooLarge) gets a remediation hint appended — the
+// client asked for something well-formed that simply does not fit in RAM.
 func (s *JobSpec) checkGraph() error {
-	if s.N < 1 || s.N > MaxNGraph {
-		return fmt.Errorf("graph engine needs n in [1, %d], got %d", MaxNGraph, s.N)
+	if maxN := s.graphMaxN(); s.N < 1 || s.N > maxN {
+		return fmt.Errorf("graph engine needs n in [1, %d] for family %q, got %d", maxN, s.Graph, s.N)
 	}
-	return topo.Validate(s.Graph, s.N)
+	if err := topo.Validate(s.Graph, s.N); err != nil {
+		if errors.Is(err, topo.ErrTooLarge) {
+			return fmt.Errorf("%w (hint: use an implicit family — complete, cycle, star, torus, hypercube — which materializes nothing, or build the graph to disk and run it with mmap mode via cmd/plurality -graph-mode mmap)", err)
+		}
+		return err
+	}
+	return nil
 }
 
 // biasValue parses the Bias field; "auto" resolves to the Corollary 1
@@ -216,7 +240,7 @@ func (s *JobSpec) Validate() error {
 		case "sampled", "population":
 			maxN = MaxNSampled
 		case "graph":
-			maxN = MaxNGraph
+			maxN = s.graphMaxN()
 		}
 		if s.N > maxN {
 			errs = append(errs, fmt.Errorf("n = %d exceeds the %s-engine cap %d", s.N, eng, maxN))

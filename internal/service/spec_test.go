@@ -95,7 +95,10 @@ func TestValidateRejects(t *testing.T) {
 		{func(s *JobSpec) { s.N = MaxNExact + 1 }, "cap"},
 		{func(s *JobSpec) { s.Engine = "sampled"; s.N = MaxNSampled + 1 }, "cap"},
 		{func(s *JobSpec) { s.Engine = "population"; s.N = MaxNSampled + 1 }, "cap"},
-		{func(s *JobSpec) { s.Engine = "graph"; s.N = MaxNGraph + 4 }, "graph engine needs n"},
+		// Materialized families keep the RAM-bounded cap; implicit families
+		// (complete here) get the raised one but still have a ceiling.
+		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "regular:8"; s.N = MaxNGraph + 4 }, "graph engine needs n"},
+		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "complete"; s.N = MaxNGraphImplicit + 4 }, "graph engine needs n"},
 		// A hostile torus n must be rejected in constant time, not by a
 		// √n-iteration side search or wrapping int64 arithmetic.
 		{func(s *JobSpec) { s.Engine = "graph"; s.Graph = "torus"; s.N = 1<<63 - 1 }, "graph engine needs n"},

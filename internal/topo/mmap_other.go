@@ -1,0 +1,20 @@
+//go:build !unix
+
+package topo
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without syscall.Mmap falls back to reading the
+// whole file into the heap. Same byte-view API, none of the beyond-RAM
+// benefit — the mmap backend degrades to ReadCSR-level memory use but
+// stays correct.
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	data = make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -1,0 +1,22 @@
+//go:build unix
+
+package topo
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the first size bytes of f read-only. The returned unmap
+// releases the mapping; the file descriptor itself may be closed as soon
+// as mapFile returns (the mapping outlives it).
+func mapFile(f *os.File, size int64) (data []byte, unmap func() error, err error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

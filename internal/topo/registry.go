@@ -1,8 +1,10 @@
 package topo
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 
@@ -29,6 +31,21 @@ const (
 	MaxBlocks      = int64(1) << 10
 )
 
+// ErrTooLarge marks size-cap rejections: the spec is well-formed and the
+// family supports the shape, but this n exceeds a materialization cap
+// (MaxAdjEntries adjacency entries or MaxBuilderN vertices). It is a
+// different failure from "unsupported at any n" (bad parameters, wrong n
+// shape) — callers can match it with errors.Is and suggest a remediation:
+// an implicit family (torus, hypercube, complete, cycle, star) has no
+// materialization cost at all, and mmap mode moves a materialized family's
+// adjacency out of RAM.
+var ErrTooLarge = errors.New("exceeds a materialization cap")
+
+// tooLargef builds a cap-rejection error wrapping ErrTooLarge.
+func tooLargef(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrTooLarge)...)
+}
+
 // family describes one registered topology family.
 type family struct {
 	name  string
@@ -36,6 +53,11 @@ type family struct {
 	doc   string
 	// random reports whether Build consumes randomness.
 	random bool
+	// implicit reports whether the family's default build is an O(1)-memory
+	// functional graph (neighbors computed, never stored) rather than a
+	// materialized CSR. Implicit families have no adjacency cap and scale
+	// to n bounded only by the engine's color arrays.
+	implicit bool
 	// validate checks params (already split, family prefix stripped)
 	// against n and returns the canonical spec. It must run in O(1) and
 	// never panic.
@@ -49,7 +71,7 @@ var families = []family{
 	{
 		name: "complete", usage: "complete",
 		doc:    "the paper's clique; uniform sampling with self",
-		random: false,
+		random: false, implicit: true,
 		validate: func(n int64, ps []string) (string, error) {
 			if err := noParams("complete", ps); err != nil {
 				return "", err
@@ -66,7 +88,7 @@ var families = []family{
 	{
 		name: "cycle", usage: "cycle",
 		doc:    "the n-vertex ring; the slowest-mixing connected topology",
-		random: false,
+		random: false, implicit: true,
 		validate: func(n int64, ps []string) (string, error) {
 			if err := noParams("cycle", ps); err != nil {
 				return "", err
@@ -83,7 +105,7 @@ var families = []family{
 	{
 		name: "star", usage: "star",
 		doc:    "hub 0 adjacent to all leaves",
-		random: false,
+		random: false, implicit: true,
 		validate: func(n int64, ps []string) (string, error) {
 			if err := noParams("star", ps); err != nil {
 				return "", err
@@ -100,7 +122,7 @@ var families = []family{
 	{
 		name: "torus", usage: "torus[:DIMS]",
 		doc:    "equal-sided DIMS-dimensional torus (default 2-d square); n must be an exact DIMS-th power with side >= 3",
-		random: false,
+		random: false, implicit: true,
 		validate: func(n int64, ps []string) (string, error) {
 			dims := int64(2)
 			if len(ps) > 1 {
@@ -134,13 +156,16 @@ var families = []family{
 	{
 		name: "hypercube", usage: "hypercube",
 		doc:    "the log2(n)-dimensional boolean hypercube; n must be a power of two",
-		random: false,
+		random: false, implicit: true,
 		validate: func(n int64, ps []string) (string, error) {
 			if err := noParams("hypercube", ps); err != nil {
 				return "", err
 			}
-			if n < 2 || n >= MaxBuilderN || n&(n-1) != 0 {
-				return "", fmt.Errorf("hypercube needs n a power of two in [2, 2^31), got %d", n)
+			if n < 2 || n&(n-1) != 0 {
+				return "", fmt.Errorf("hypercube needs n a power of two >= 2, got %d", n)
+			}
+			if n >= MaxBuilderN {
+				return "", tooLargef("hypercube: n = %d exceeds the 2^31 vertex cap", n)
 			}
 			return "hypercube", nil
 		},
@@ -167,7 +192,7 @@ var families = []family{
 				return "", fmt.Errorf("regular:%d needs n·d even (n = %d)", d, n)
 			}
 			if n*d > MaxAdjEntries {
-				return "", fmt.Errorf("regular:%d at n = %d exceeds the %d adjacency-entry cap", d, n, MaxAdjEntries)
+				return "", tooLargef("regular:%d at n = %d exceeds the %d materialized adjacency-entry cap", d, n, MaxAdjEntries)
 			}
 			return fmt.Sprintf("regular:%d", d), nil
 		},
@@ -192,7 +217,7 @@ var families = []family{
 				return "", err
 			}
 			if p*float64(n)*float64(n-1) > float64(MaxAdjEntries) {
-				return "", fmt.Errorf("gnp:%g at n = %d expects more than the %d adjacency-entry cap", p, n, MaxAdjEntries)
+				return "", tooLargef("gnp:%g at n = %d expects more than the %d materialized adjacency-entry cap", p, n, MaxAdjEntries)
 			}
 			return fmt.Sprintf("gnp:%g", p), nil
 		},
@@ -227,7 +252,7 @@ var families = []family{
 				return "", fmt.Errorf("smallworld:%d needs K < n = %d", k, n)
 			}
 			if n*k > MaxAdjEntries {
-				return "", fmt.Errorf("smallworld:%d at n = %d exceeds the %d adjacency-entry cap", k, n, MaxAdjEntries)
+				return "", tooLargef("smallworld:%d at n = %d exceeds the %d materialized adjacency-entry cap", k, n, MaxAdjEntries)
 			}
 			return fmt.Sprintf("smallworld:%d:%g", k, beta), nil
 		},
@@ -253,7 +278,7 @@ var families = []family{
 				return "", fmt.Errorf("ba:%d needs M+1 <= n = %d", m, n)
 			}
 			if 2*m*n > MaxAdjEntries {
-				return "", fmt.Errorf("ba:%d at n = %d exceeds the %d adjacency-entry cap", m, n, MaxAdjEntries)
+				return "", tooLargef("ba:%d at n = %d exceeds the %d materialized adjacency-entry cap", m, n, MaxAdjEntries)
 			}
 			return fmt.Sprintf("ba:%d", m), nil
 		},
@@ -291,7 +316,7 @@ var families = []family{
 			size := float64(n) / float64(blocks)
 			expected := float64(n) * (pin*size + pout*(float64(n)-size))
 			if expected > float64(MaxAdjEntries) {
-				return "", fmt.Errorf("sbm:%d:%g:%g at n = %d expects more than the %d adjacency-entry cap", blocks, pin, pout, n, MaxAdjEntries)
+				return "", tooLargef("sbm:%d:%g:%g at n = %d expects more than the %d materialized adjacency-entry cap", blocks, pin, pout, n, MaxAdjEntries)
 			}
 			return fmt.Sprintf("sbm:%d:%g:%g", blocks, pin, pout), nil
 		},
@@ -322,7 +347,7 @@ var families = []family{
 				return "", fmt.Errorf("barbell:%d needs (n/2)·D even (n = %d)", d, n)
 			}
 			if n*d+2 > MaxAdjEntries {
-				return "", fmt.Errorf("barbell:%d at n = %d exceeds the %d adjacency-entry cap", d, n, MaxAdjEntries)
+				return "", tooLargef("barbell:%d at n = %d exceeds the %d materialized adjacency-entry cap", d, n, MaxAdjEntries)
 			}
 			return fmt.Sprintf("barbell:%d", d), nil
 		},
@@ -392,9 +417,23 @@ func IsRandom(spec string) (bool, error) {
 	return f.random, nil
 }
 
+// IsImplicit reports whether the spec's family has an implicit O(1)-memory
+// backend (complete, cycle, star, torus, hypercube). Implicit families
+// carry no adjacency materialization cost, so callers (e.g. the service's
+// admission caps) may allow far larger n for them.
+func IsImplicit(spec string) (bool, error) {
+	f, _, err := lookup(spec)
+	if err != nil {
+		return false, err
+	}
+	return f.implicit, nil
+}
+
 // Build validates the spec and constructs the topology on n vertices. All
 // randomness comes from r, so the graph is a pure function of
-// (spec, n, r's state); deterministic families accept a nil r.
+// (spec, n, r's state); deterministic families accept a nil r. Build is
+// BuildSource in ModeAuto, kept for the many callers that want the family
+// default and nothing else.
 func Build(spec string, n int64, r *rng.Rand) (graph.Graph, error) {
 	f, params, err := lookup(spec)
 	if err != nil {
@@ -407,15 +446,141 @@ func Build(spec string, n int64, r *rng.Rand) (graph.Graph, error) {
 	return f.build(canon, n, params, r), nil
 }
 
+// Mode selects the backend representation BuildSource constructs behind
+// the NeighborSource interface. Every mode honors the same rng byte
+// contract, so for overlapping (spec, n, seed) the modes produce
+// byte-identical seeded runs — the choice is purely a memory/latency
+// trade.
+type Mode string
+
+const (
+	// ModeAuto is the family default: implicit families stay implicit,
+	// generator families build an in-RAM CSR. Identical to Build.
+	ModeAuto Mode = "auto"
+	// ModeImplicit requires the family's O(1)-memory functional backend
+	// and errors for families that must materialize.
+	ModeImplicit Mode = "implicit"
+	// ModeCSR forces an in-RAM CSR, materializing implicit families in
+	// their enumeration order (subject to the MaxAdjEntries cap).
+	ModeCSR Mode = "csr"
+	// ModeMmap serves the CSR from an on-disk file via OpenCSR: an
+	// existing file at BuildOpts.Path is opened and verified against the
+	// spec; otherwise the graph is built, written atomically, and mapped.
+	ModeMmap Mode = "mmap"
+)
+
+// ParseMode parses a user-facing mode string ("" means auto).
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "", ModeAuto:
+		return ModeAuto, nil
+	case ModeImplicit, ModeCSR, ModeMmap:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("unknown graph mode %q (want auto, implicit, csr, or mmap)", s)
+}
+
+// BuildOpts selects the backend for BuildSource.
+type BuildOpts struct {
+	// Mode picks the representation; zero value is ModeAuto.
+	Mode Mode
+	// Path is the CSR file for ModeMmap (required there, ignored
+	// elsewhere). Derive shared cache paths with CacheFileName.
+	Path string
+}
+
+// BuildSource validates the spec and constructs it behind the selected
+// backend. Like Build, the result is a pure function of (spec, n, r's
+// state, opts) — in mmap mode a pre-existing file at opts.Path is reused
+// without consuming r, which is only sound because files written by this
+// function are themselves pure functions of the same inputs.
+//
+// The returned source may hold an OS resource (mmap mode): callers that
+// care should close it via an io.Closer type assertion when done.
+func BuildSource(spec string, n int64, r *rng.Rand, opts BuildOpts) (NeighborSource, error) {
+	f, params, err := lookup(spec)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := f.validate(n, params)
+	if err != nil {
+		return nil, err
+	}
+	mode := opts.Mode
+	if mode == "" {
+		mode = ModeAuto
+	}
+	switch mode {
+	case ModeAuto:
+		return f.build(canon, n, params, r), nil
+	case ModeImplicit:
+		if !f.implicit {
+			return nil, fmt.Errorf("topo: %s has no implicit backend (implicit families: %s)", f.name, strings.Join(implicitFamilyNames(), ", "))
+		}
+		return f.build(canon, n, params, r), nil
+	case ModeCSR:
+		return buildCSR(f, canon, n, params, r)
+	case ModeMmap:
+		if opts.Path == "" {
+			return nil, fmt.Errorf("topo: mmap mode needs a file path (BuildOpts.Path)")
+		}
+		if m, err := OpenCSR(opts.Path); err == nil {
+			if m.Name() != canon || m.N() != n {
+				got, gotN := m.Name(), m.N()
+				m.Close()
+				return nil, fmt.Errorf("topo: %s holds %q with n=%d, want %q with n=%d", opts.Path, got, gotN, canon, n)
+			}
+			return m, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		csr, err := buildCSR(f, canon, n, params, r)
+		if err != nil {
+			return nil, err
+		}
+		if err := WriteCSRFile(csr, opts.Path); err != nil {
+			return nil, err
+		}
+		return OpenCSR(opts.Path)
+	}
+	return nil, fmt.Errorf("unknown graph mode %q (want auto, implicit, csr, or mmap)", mode)
+}
+
+// buildCSR builds the family and forces an in-RAM CSR representation.
+func buildCSR(f *family, canon string, n int64, params []string, r *rng.Rand) (*CSR, error) {
+	g := f.build(canon, n, params, r)
+	if csr, ok := g.(*CSR); ok {
+		return csr, nil
+	}
+	return MaterializeCSR(canon, g)
+}
+
+// implicitFamilyNames lists the families carrying an implicit backend, in
+// registry order (for error messages).
+func implicitFamilyNames() []string {
+	var out []string
+	for _, f := range families {
+		if f.implicit {
+			out = append(out, f.name)
+		}
+	}
+	return out
+}
+
 // ----- parameter parsing helpers (strict, constant-time) -----
 
 // checkBuilderN guards every builder-backed (materialized) family: the CSR
 // builder addresses at most 2^31 vertices, so Validate must reject larger
 // n here or Build would panic — and with n < 2^31 and degree parameters
 // capped at MaxDegreeParam, the n·d cap arithmetic cannot overflow int64.
+// The n >= 2^31 branch is a size-cap rejection (ErrTooLarge), distinct
+// from the malformed n < 1.
 func checkBuilderN(name string, n int64) error {
-	if n < 1 || n >= MaxBuilderN {
-		return fmt.Errorf("%s needs n in [1, 2^31), got %d", name, n)
+	if n < 1 {
+		return fmt.Errorf("%s needs n >= 1, got %d", name, n)
+	}
+	if n >= MaxBuilderN {
+		return tooLargef("%s: n = %d exceeds the 2^31 materialized vertex cap", name, n)
 	}
 	return nil
 }

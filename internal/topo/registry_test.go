@@ -92,16 +92,16 @@ func TestRegistryRejectsHostileSpecs(t *testing.T) {
 		{"regular:x", 100, "bad D"},
 		{"regular:101", 100, "degree < n"},
 		{"regular:3", 101, "even"},
-		{"regular:8", 1 << 40, "n in [1, 2^31)"},
+		{"regular:8", 1 << 40, "2^31 materialized vertex cap"},
 		// A hostile huge n must fail validation, not panic later in the
 		// builder — even when the expected edge count is tiny (gnp:0) or
 		// n·d overflows int64 past the MaxAdjEntries comparison.
-		{"gnp:0", 4_000_000_000, "n in [1, 2^31)"},
-		{"sbm:1:0:0", 4_000_000_000, "n in [1, 2^31)"},
-		{"regular:2", 1 << 62, "n in [1, 2^31)"},
-		{"smallworld:2:0", 1 << 33, "n in [1, 2^31)"},
-		{"ba:1", 1 << 33, "n in [1, 2^31)"},
-		{"barbell:1", 1 << 33, "n in [1, 2^31)"},
+		{"gnp:0", 4_000_000_000, "2^31 materialized vertex cap"},
+		{"sbm:1:0:0", 4_000_000_000, "2^31 materialized vertex cap"},
+		{"regular:2", 1 << 62, "2^31 materialized vertex cap"},
+		{"smallworld:2:0", 1 << 33, "2^31 materialized vertex cap"},
+		{"ba:1", 1 << 33, "2^31 materialized vertex cap"},
+		{"barbell:1", 1 << 33, "2^31 materialized vertex cap"},
 		{"gnp:1.5", 100, "outside"},
 		{"gnp:NaN", 100, "bad P"},
 		{"gnp:0.5", 1 << 30, "cap"},

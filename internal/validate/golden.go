@@ -120,6 +120,23 @@ func StandardGoldenSpecs() []GoldenSpec {
 			Initial: colorcfg.Biased(64, 3, 12), Rounds: 15, Seed: 1011,
 		},
 		{
+			// The implicit-backend golden: the torus is sampled functionally
+			// (topo.ModeImplicit, nothing materialized), pinning the
+			// NeighborSource rng contract for the zero-memory path. The
+			// backend-identity certification (CheckGraphContract) proves the
+			// CSR and mmap backends reproduce these same bytes.
+			Name: "graph-torus-implicit-w2-3majority-n512-k3",
+			NewEngine: func(init colorcfg.Config, r *rng.Rand) engine.Engine {
+				g, err := topo.BuildSource("torus:3", init.N(), nil, topo.BuildOpts{Mode: topo.ModeImplicit})
+				if err != nil {
+					panic(fmt.Sprintf("golden implicit torus build: %v", err))
+				}
+				layout := rng.New(r.Uint64())
+				return engine.NewGraphEngine(dynamics.ThreeMajority{}, g, init, 2, r.Uint64(), layout)
+			},
+			Initial: colorcfg.Biased(512, 3, 96), Rounds: 15, Seed: 1012,
+		},
+		{
 			Name: "markov-2choiceskeepown-n90-k3",
 			NewEngine: func(init colorcfg.Config, _ *rng.Rand) engine.Engine {
 				return engine.NewCliqueMarkov(dynamics.TwoChoicesKeepOwn{}, init)

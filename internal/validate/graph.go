@@ -2,6 +2,9 @@ package validate
 
 import (
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"slices"
 
 	"plurality/internal/colorcfg"
@@ -50,11 +53,14 @@ func StandardGraphSpecs() []GraphContractSpec {
 
 // CheckGraphContract certifies one topology spec: the registry resolves
 // and rebuilds it reproducibly (byte-identical CSR per seed), the built
-// structure satisfies the handshake invariant, and the CSR-sharded
-// GraphEngine agrees byte for byte, round for round, with the generic
-// interface path over the same structure (the representation-independence
-// contract: both consume one Int63n(degree) per sample). Conservation
-// (Σc = n) is checked every round on both paths.
+// structure satisfies the handshake invariant, and every backend of the
+// same (spec, n, seed) — the family default, the opaque interface path,
+// the forced in-RAM CSR, the implicit functional graph where the family
+// has one, and the mmap-backed CSR round-tripped through a real file —
+// yields byte-identical per-round configurations AND per-vertex colors
+// (the representation-independence contract: every backend consumes one
+// Int63n(degree) per sample). Conservation (Σc = n) is checked every
+// round.
 func CheckGraphContract(spec GraphContractSpec, opts Options) CheckResult {
 	opts = opts.withDefaults()
 	seed := opts.Seed
@@ -103,20 +109,66 @@ func CheckGraphContract(spec GraphContractSpec, opts Options) CheckResult {
 		}
 	}
 
+	// Assemble every backend of the same (spec, n, seed). Each BuildSource
+	// gets a fresh rng.New(seed), so random families rebuild the identical
+	// structure per backend; implicit families ignore the rng entirely.
+	canon, err := topo.Canonical(spec.Spec, spec.N)
+	if err != nil {
+		return fail("canonical: %v", err)
+	}
+	type backend struct {
+		name string
+		src  topo.NeighborSource
+	}
+	backends := []backend{{"auto", g}, {"opaque", opaqueGraph{g}}}
+	csrSrc, err := topo.BuildSource(spec.Spec, spec.N, rng.New(seed), topo.BuildOpts{Mode: topo.ModeCSR})
+	if err != nil {
+		return fail("csr backend: %v", err)
+	}
+	backends = append(backends, backend{"csr", csrSrc})
+	if implicit, _ := topo.IsImplicit(spec.Spec); implicit {
+		impSrc, err := topo.BuildSource(spec.Spec, spec.N, nil, topo.BuildOpts{Mode: topo.ModeImplicit})
+		if err != nil {
+			return fail("implicit backend: %v", err)
+		}
+		backends = append(backends, backend{"implicit", impSrc})
+	}
+	if dir, err := os.MkdirTemp("", "validate-mmap-*"); err == nil {
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, topo.CacheFileName(canon, spec.N, seed))
+		mmapSrc, err := topo.BuildSource(spec.Spec, spec.N, rng.New(seed), topo.BuildOpts{Mode: topo.ModeMmap, Path: path})
+		if err != nil {
+			return fail("mmap backend: %v", err)
+		}
+		if c, ok := mmapSrc.(io.Closer); ok {
+			defer c.Close()
+		}
+		backends = append(backends, backend{"mmap", mmapSrc})
+	}
+
 	init := colorcfg.Biased(spec.N, spec.K, spec.Bias)
-	fast := engine.NewGraphEngine(dynamics.ThreeMajority{}, g, init, spec.Workers, seed^0x9e3779b9, rng.New(seed+1))
-	defer fast.Close()
-	slow := engine.NewGraphEngine(dynamics.ThreeMajority{}, opaqueGraph{g}, init, spec.Workers, seed^0x9e3779b9, rng.New(seed+1))
-	defer slow.Close()
+	engines := make([]*engine.GraphEngine, len(backends))
+	for i, b := range backends {
+		engines[i] = engine.NewGraphEngine(dynamics.ThreeMajority{}, b.src, init, spec.Workers, seed^0x9e3779b9, rng.New(seed+1))
+		defer engines[i].Close()
+	}
 	for round := 1; round <= spec.Rounds; round++ {
-		fast.Step(nil)
-		slow.Step(nil)
-		cf, cs := fast.Config(), slow.Config()
-		if err := cf.Validate(spec.N); err != nil {
+		for _, e := range engines {
+			e.Step(nil)
+		}
+		ref := engines[0].Config()
+		if err := ref.Validate(spec.N); err != nil {
 			return fail("round %d: conservation violated: %v", round, err)
 		}
-		if !cf.Equal(cs) {
-			return fail("round %d: CSR path diverged from interface path: %v vs %v", round, cf, cs)
+		for i := 1; i < len(engines); i++ {
+			if c := engines[i].Config(); !ref.Equal(c) {
+				return fail("round %d: %s backend diverged from %s: %v vs %v",
+					round, backends[i].name, backends[0].name, c, ref)
+			}
+			if !slices.Equal(engines[0].Colors(), engines[i].Colors()) {
+				return fail("round %d: %s backend per-vertex colors diverged from %s",
+					round, backends[i].name, backends[0].name)
+			}
 		}
 	}
 	res.Replicates = spec.Rounds
