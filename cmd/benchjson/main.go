@@ -14,6 +14,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -21,11 +22,26 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
+)
+
+// Stamp flags: without a commit and date in the document, the uploaded
+// artifacts are indistinguishable snapshots and the perf trajectory cannot
+// be reconstructed from them. CI passes both explicitly; -commit falls
+// back to $GITHUB_SHA so a bare `go run ./cmd/benchjson` inside an Actions
+// step is stamped even without flags.
+var (
+	commitFlag = flag.String("commit", os.Getenv("GITHUB_SHA"), "git commit the benchmarks were run at (default $GITHUB_SHA)")
+	dateFlag   = flag.String("date", "", "UTC timestamp of the run, RFC 3339 (default: now)")
 )
 
 // Result is the aggregated measurement of one benchmark.
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// NsPerAgent is the custom ReportMetric of the sparse graph-round
+	// benchmarks (per-op time divided by n) — the unit the hot-path perf
+	// budget is written in.
+	NsPerAgent  float64 `json:"ns_per_agent,omitempty"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Samples     int     `json:"samples"`
@@ -33,6 +49,8 @@ type Result struct {
 
 // Report is the top-level JSON document.
 type Report struct {
+	Commit     string            `json:"commit,omitempty"`
+	Date       string            `json:"date,omitempty"`
 	Goos       string            `json:"goos,omitempty"`
 	Goarch     string            `json:"goarch,omitempty"`
 	CPU        string            `json:"cpu,omitempty"`
@@ -40,10 +58,16 @@ type Report struct {
 }
 
 func main() {
+	flag.Parse()
 	report, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	report.Commit = *commitFlag
+	report.Date = *dateFlag
+	if report.Date == "" {
+		report.Date = time.Now().UTC().Format(time.RFC3339)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -66,8 +90,8 @@ var procsSuffix = regexp.MustCompile(`-\d+$`)
 // lines are ignored. An input with no benchmark lines is an error.
 func Parse(r io.Reader) (*Report, error) {
 	type acc struct {
-		ns, bytes, allocs float64
-		samples           int
+		ns, nsAgent, bytes, allocs float64
+		samples                    int
 	}
 	accs := map[string]*acc{}
 	report := &Report{Benchmarks: map[string]Result{}}
@@ -113,6 +137,8 @@ func Parse(r io.Reader) (*Report, error) {
 			case "ns/op":
 				a.ns += v
 				sampled = true
+			case "ns/agent":
+				a.nsAgent += v
 			case "B/op":
 				a.bytes += v
 			case "allocs/op":
@@ -142,6 +168,7 @@ func Parse(r io.Reader) (*Report, error) {
 		s := float64(a.samples)
 		report.Benchmarks[name] = Result{
 			NsPerOp:     a.ns / s,
+			NsPerAgent:  a.nsAgent / s,
 			BytesPerOp:  a.bytes / s,
 			AllocsPerOp: a.allocs / s,
 			Samples:     a.samples,

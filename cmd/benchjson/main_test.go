@@ -15,6 +15,8 @@ BenchmarkEngineMultinomialRound/k=2-8         	       1	        67.40 ns/op	    
 BenchmarkEngineMultinomialRound/k=2-8         	       1	        72.60 ns/op	       0 B/op	       0 allocs/op
 BenchmarkEngineSampledRound/w=1-8             	       1	   1390000 ns/op	      16 B/op	       1 allocs/op
 BenchmarkFullRunConvergence-8                 	       1	     42600 ns/op
+BenchmarkEngineGraphRoundSparse/n=10000000-8  	       1	 494800000 ns/op	        49.00 ns/agent	       0 B/op	       0 allocs/op
+BenchmarkEngineGraphRoundSparse/n=10000000-8  	       1	 504800000 ns/op	        51.00 ns/agent	       0 B/op	       0 allocs/op
 PASS
 ok  	plurality	1.234s
 `
@@ -44,6 +46,11 @@ func TestParseAggregates(t *testing.T) {
 	// ns/op-only lines (no -benchmem) must still parse.
 	if conv := report.Benchmarks["FullRunConvergence"]; conv.NsPerOp != 42600 {
 		t.Errorf("bad ns-only line: %+v", conv)
+	}
+	// The custom ns/agent metric aggregates alongside ns/op.
+	sparse := report.Benchmarks["EngineGraphRoundSparse/n=10000000"]
+	if sparse.Samples != 2 || math.Abs(sparse.NsPerAgent-50.0) > 1e-9 {
+		t.Errorf("bad ns/agent aggregation: %+v", sparse)
 	}
 }
 

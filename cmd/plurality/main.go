@@ -37,6 +37,7 @@ func main() {
 		graphName = flag.String("graph", "complete", "topology for -engine graph (internal/topo registry spec): complete | cycle | star | torus[:DIMS] | hypercube | regular:D | gnp:P | smallworld:K:BETA | ba:M | sbm:B:PIN:POUT | barbell:D")
 		graphMode = flag.String("graph-mode", "auto", "topology backend for -engine graph: auto | implicit (zero materialization) | csr (force in-RAM) | mmap (serve from -graph-file, building it first if absent)")
 		graphFile = flag.String("graph-file", "", "CSR file for -graph-mode mmap (created atomically when missing)")
+		sampler   = flag.String("sampler", "default", "rng draw discipline for -engine graph: default (per-draw byte contract, golden-pinned) | batch (bulk block draws; faster, certified by its own golden)")
 		n         = flag.Int64("n", 100_000, "number of agents")
 		k         = flag.Int("k", 8, "number of colors")
 		biasFlag  = flag.String("bias", "auto", "initial additive bias (integer) or 'auto' for the Corollary 1 threshold")
@@ -51,14 +52,14 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*ruleName, *engName, *graphName, *graphMode, *graphFile, *n, *k, *biasFlag, *seed,
+	if err := run(*ruleName, *engName, *graphName, *graphMode, *graphFile, *sampler, *n, *k, *biasFlag, *seed,
 		*maxRounds, *advName, *workers, *trace, *mPlur, *dumpPath, *phases); err != nil {
 		fmt.Fprintln(os.Stderr, "plurality:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ruleName, engName, graphName, graphMode, graphFile string, n int64, k int,
+func run(ruleName, engName, graphName, graphMode, graphFile, samplerName string, n int64, k int,
 	biasFlag string, seed uint64, maxRounds int, advName string, workers int,
 	traceRounds bool, mPlur int64, dumpPath string, phases bool) error {
 
@@ -82,7 +83,7 @@ func run(ruleName, engName, graphName, graphMode, graphFile string, n int64, k i
 		if err != nil {
 			return err
 		}
-		eng, err = buildEngine(engName, graphName, graphMode, graphFile, rule, init, workers, seed, r)
+		eng, err = buildEngine(engName, graphName, graphMode, graphFile, samplerName, rule, init, workers, seed, r)
 		if err != nil {
 			return err
 		}
@@ -167,7 +168,7 @@ func parseRule(s string) (dynamics.Rule, error) {
 	return dynamics.ParseRule(s)
 }
 
-func buildEngine(engName, graphName, graphMode, graphFile string, rule dynamics.Rule,
+func buildEngine(engName, graphName, graphMode, graphFile, samplerName string, rule dynamics.Rule,
 	init colorcfg.Config, workers int, seed uint64, r *rng.Rand) (engine.Engine, error) {
 	if engName == "auto" {
 		if _, ok := rule.(dynamics.ProbModel); ok {
@@ -175,6 +176,13 @@ func buildEngine(engName, graphName, graphMode, graphFile string, rule dynamics.
 		} else {
 			engName = "sampled"
 		}
+	}
+	sampler, err := engine.ParseSampler(samplerName)
+	if err != nil {
+		return nil, err
+	}
+	if sampler == engine.SamplerBatch && engName != "graph" {
+		return nil, fmt.Errorf("-sampler batch applies only to -engine graph, not %q", engName)
 	}
 	switch engName {
 	case "multinomial":
@@ -199,7 +207,8 @@ func buildEngine(engName, graphName, graphMode, graphFile string, rule dynamics.
 		if err != nil {
 			return nil, err
 		}
-		return engine.NewGraphEngine(rule, g, init, workers, seed^0xbeef, r), nil
+		return engine.NewGraphEngineOpts(rule, g, init, workers, seed^0xbeef, r,
+			engine.GraphOpts{Sampler: sampler}), nil
 	}
 	return nil, fmt.Errorf("unknown engine %q", engName)
 }

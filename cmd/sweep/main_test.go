@@ -118,6 +118,37 @@ func TestSweepGraphGrid(t *testing.T) {
 	}
 }
 
+// TestSweepBatchSampler pins the -sampler batch semantics: graph-only
+// grids run (deterministically, with the sampler stamped into the cell
+// name), clique cells are refused, and unknown samplers fail fast.
+func TestSweepBatchSampler(t *testing.T) {
+	cfg := testCfg()
+	cfg.rules = "2choices"
+	cfg.graphs = "regular:4"
+	cfg.ks = "2"
+	cfg.reps = 3
+	cfg.sampler = "batch"
+	cfg.format = "jsonl"
+	out := runSweep(t, cfg, nil)
+	if !strings.Contains(out, "/sampler=batch") {
+		t.Errorf("batch cell records lack the sampler suffix:\n%s", out)
+	}
+	if runSweep(t, cfg, nil) != out {
+		t.Fatal("batch grid is not deterministic across reruns")
+	}
+	cfg.graphs = "complete,regular:4"
+	if err := sweep(context.Background(), cfg, io.Discard, nil); err == nil ||
+		!strings.Contains(err.Error(), "graph-engine cells") {
+		t.Fatalf("batch + complete error = %v, want graph-engine cells", err)
+	}
+	cfg.graphs = "regular:4"
+	cfg.sampler = "turbo"
+	if err := sweep(context.Background(), cfg, io.Discard, nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown sampler") {
+		t.Fatalf("unknown sampler error = %v, want unknown sampler", err)
+	}
+}
+
 func TestSweepRejectsBadGraphSpec(t *testing.T) {
 	cfg := testCfg()
 	cfg.graphs = "moebius"

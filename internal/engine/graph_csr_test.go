@@ -29,7 +29,7 @@ func TestGraphEngineCSRByteContract(t *testing.T) {
 	for _, workers := range []int{1, 3} {
 		fast := NewGraphEngine(dynamics.ThreeMajority{}, csr, init, workers, 77, rng.New(5))
 		slow := NewGraphEngine(dynamics.ThreeMajority{}, hiddenCSR{csr}, init, workers, 77, rng.New(5))
-		if fast.offsets == nil || slow.offsets != nil {
+		if fast.loop.offsets == nil || slow.loop.offsets != nil {
 			t.Fatal("fast-path detection broken: want flat path vs generic path")
 		}
 		for round := 0; round < 12; round++ {

@@ -39,6 +39,14 @@ func TestStepZeroAllocs(t *testing.T) {
 	}
 	defer mmapSrc.(io.Closer).Close()
 
+	// A skewed-degree flat graph (gnp) exercises the per-vertex draw loops
+	// rather than the uniform-degree bulk kernels.
+	gnp, err := topo.Build("gnp:0.0008", 20_000, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := GraphOpts{Sampler: SamplerBatch}
 	cases := map[string]Engine{
 		"clique-multinomial": NewCliqueMultinomial(dynamics.ThreeMajority{}, init),
 		"clique-markov":      NewCliqueMarkov(dynamics.ThreeMajorityKeepOwn{}, init),
@@ -54,7 +62,19 @@ func TestStepZeroAllocs(t *testing.T) {
 			torus, initTorus, 4, 11, nil),
 		"graph-mmap-w4": NewGraphEngine(dynamics.ThreeMajority{},
 			mmapSrc, init, 4, 11, nil),
-		"undecided-exact": NewUndecidedExact(init),
+		// Every dispatch row of the rewritten graph loop: the skewed-degree
+		// batched path, the serial fallback for an rng-consuming rule, and
+		// the relaxed batch sampler on flat, skewed and implicit sources.
+		"graph-gnp-w4": NewGraphEngine(dynamics.ThreeMajority{}, gnp, init, 4, 11, nil),
+		"graph-csr-utie-serial-w4": NewGraphEngine(dynamics.ThreeMajority{UniformTie: true},
+			topo.RandomRegular("regular:8", 20_000, 8, rng.New(2)), init, 4, 11, nil),
+		"graph-csr-batch-w4": NewGraphEngineOpts(dynamics.ThreeMajority{},
+			topo.RandomRegular("regular:8", 20_000, 8, rng.New(2)), init, 4, 11, nil, batch),
+		"graph-csr-utie-batch-w4": NewGraphEngineOpts(dynamics.ThreeMajority{UniformTie: true},
+			topo.RandomRegular("regular:8", 20_000, 8, rng.New(2)), init, 4, 11, nil, batch),
+		"graph-gnp-batch-w4":      NewGraphEngineOpts(dynamics.ThreeMajority{}, gnp, init, 4, 11, nil, batch),
+		"graph-implicit-batch-w4": NewGraphEngineOpts(dynamics.ThreeMajority{}, torus, initTorus, 4, 11, nil, batch),
+		"undecided-exact":         NewUndecidedExact(init),
 	}
 	for name, e := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -134,6 +134,10 @@ func (g Cycle) SampleNeighbor(v int64, r *rng.Rand) int64 {
 	return g.Neighbor(v, r.Int63n(2))
 }
 
+// UniformDegree implements topo's degree-class hint: every vertex has
+// degree 2.
+func (Cycle) UniformDegree() int64 { return 2 }
+
 // ----- torus -----
 
 // Torus is the rows×cols grid with wraparound (4-regular).
@@ -179,6 +183,10 @@ func (g Torus) Neighbor(v, i int64) int64 {
 func (g Torus) SampleNeighbor(v int64, r *rng.Rand) int64 {
 	return g.Neighbor(v, r.Int63n(4))
 }
+
+// UniformDegree implements topo's degree-class hint: every vertex has
+// degree 4 (both sides >= 3 keep the four neighbors distinct).
+func (Torus) UniformDegree() int64 { return 4 }
 
 // ----- star -----
 

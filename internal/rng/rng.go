@@ -67,6 +67,27 @@ func (r *Rand) Uint64() uint64 {
 	return result
 }
 
+// Uint64Block fills dst with consecutive outputs of the sequence,
+// byte-identical to len(dst) sequential Uint64 calls. The state lives in
+// locals across the loop so the compiler keeps it in registers instead of
+// re-loading the receiver per draw — this is the bulk-generation primitive
+// behind the engines' batched sampling paths.
+func (r *Rand) Uint64Block(dst []uint64) {
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for i := range dst {
+		result := bits.RotateLeft64(s0+s3, 23) + s0
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		dst[i] = result
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
 // Uint32 returns a uniformly distributed 32-bit value.
 func (r *Rand) Uint32() uint32 {
 	return uint32(r.Uint64() >> 32)

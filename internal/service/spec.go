@@ -90,6 +90,12 @@ type JobSpec struct {
 	Seed uint64 `json:"seed"`
 	// MaxRounds is the per-replicate round budget.
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// Sampler selects the graph engine's rng draw discipline: "default"
+	// (the per-draw byte contract pinned by the golden traces) or "batch"
+	// (bulk Uint64-block generation — deterministic, certified by its own
+	// golden, but not draw-compatible with default). Only meaningful for
+	// Engine == "graph".
+	Sampler string `json:"sampler,omitempty"`
 }
 
 // Normalize fills defaulted fields in place. It is idempotent and must be
@@ -115,6 +121,9 @@ func (s *JobSpec) Normalize() {
 	}
 	if s.MaxRounds == 0 {
 		s.MaxRounds = DefaultMaxRounds
+	}
+	if s.Sampler == "" {
+		s.Sampler = "default"
 	}
 }
 
@@ -231,9 +240,15 @@ func (s *JobSpec) Validate() error {
 			errs = append(errs, err)
 		}
 	}
+	sampler, samplerErr := engine.ParseSampler(s.Sampler)
+	if samplerErr != nil {
+		errs = append(errs, samplerErr)
+	}
 	eng, err := s.resolveEngine()
 	if err != nil {
 		errs = append(errs, err)
+	} else if samplerErr == nil && sampler == engine.SamplerBatch && eng != "graph" {
+		errs = append(errs, fmt.Errorf("sampler \"batch\" applies only to the graph engine, not %q", eng))
 	} else if s.N >= 1 {
 		maxN := int64(MaxNExact)
 		switch eng {
@@ -266,6 +281,12 @@ func (s *JobSpec) Name() string {
 		// The generator seed is part of the identity: the same spec with
 		// a different graph_seed runs on a different quenched topology.
 		name = fmt.Sprintf("%s/graph=%s/gseed=%d", name, s.Graph, s.GraphSeed)
+		// The relaxed sampler changes the per-replicate rng streams, so it
+		// is part of the identity too; the default is omitted to keep
+		// pre-existing job names (and resumable journals) stable.
+		if sampler, err := engine.ParseSampler(s.Sampler); err == nil && sampler == engine.SamplerBatch {
+			name += "/sampler=batch"
+		}
 	}
 	return name
 }
@@ -317,7 +338,12 @@ func (s *JobSpec) buildEngine(init colorcfg.Config, g graph.Graph, r *rng.Rand) 
 	case "population":
 		return engine.NewPopulation(rule, init)
 	case "graph":
-		return engine.NewGraphEngine(rule, g, init, 1, r.Uint64(), r)
+		sampler, err := engine.ParseSampler(s.Sampler)
+		if err != nil {
+			panic(fmt.Sprintf("service: buildEngine on unvalidated spec: %v", err))
+		}
+		return engine.NewGraphEngineOpts(rule, g, init, 1, r.Uint64(), r,
+			engine.GraphOpts{Sampler: sampler})
 	}
 	panic(fmt.Sprintf("service: unreachable engine %q", eng))
 }

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package topo
+
+// flockPath is a no-op on platforms without flock: the in-process mutex in
+// lockBuild still serializes builds within one process, which covers the
+// sweep and pluralityd callers; cross-process coordination degrades to the
+// pre-lock behavior (redundant builds, atomic last-writer-wins renames).
+func flockPath(string) (func(), error) {
+	return func() {}, nil
+}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package topo
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockPath takes an exclusive advisory lock on the named file (created if
+// absent), blocking until it is available, and returns the release
+// function. Advisory locks only exclude other flock callers — which is
+// exactly the contract here: every BuildSource mmap cache miss goes
+// through lockBuild.
+func flockPath(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

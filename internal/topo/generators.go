@@ -455,6 +455,10 @@ func (g Hypercube) Degree(int64) int64 { return int64(g.Dim) }
 // Neighbor implements graph.Graph.
 func (g Hypercube) Neighbor(v, i int64) int64 { return v ^ (1 << i) }
 
+// UniformDegree implements the degree-class hint: every vertex has degree
+// Dim.
+func (g Hypercube) UniformDegree() int64 { return int64(g.Dim) }
+
 // SampleNeighbor implements graph.Graph.
 func (g Hypercube) SampleNeighbor(v int64, r *rng.Rand) int64 {
 	return v ^ (1 << r.Int63n(int64(g.Dim)))
@@ -554,3 +558,7 @@ func (g TorusD) Neighbor(v, i int64) int64 {
 func (g TorusD) SampleNeighbor(v int64, r *rng.Rand) int64 {
 	return g.Neighbor(v, r.Int63n(int64(2*g.Dims)))
 }
+
+// UniformDegree implements the degree-class hint: every vertex has degree
+// 2·Dims (Side >= 3 keeps all 2·Dims neighbors distinct).
+func (g TorusD) UniformDegree() int64 { return int64(2 * g.Dims) }

@@ -39,6 +39,9 @@ type MappedCSR struct {
 	nbrs    []byte
 	unmap   func() error
 	mapping []byte
+	// uniform is the common row width when every vertex has the same
+	// positive degree, else 0; computed during OpenCSR's validation scan.
+	uniform int64
 }
 
 var _ NeighborSource = (*MappedCSR)(nil)
@@ -67,6 +70,10 @@ func (m *MappedCSR) Degree(v int64) int64 { return m.off(v+1) - m.off(v) }
 func (m *MappedCSR) Neighbor(v, i int64) int64 {
 	return int64(binary.LittleEndian.Uint64(m.nbrs[8*(m.off(v)+i):]))
 }
+
+// UniformDegree implements the degree-class hint, answered for free from
+// the offsets scan OpenCSR performs at open time.
+func (m *MappedCSR) UniformDegree() int64 { return m.uniform }
 
 // SampleNeighbor implements NeighborSource: one Int63n(degree) draw per
 // sample, none for an isolated vertex — the same stream as every other
@@ -139,10 +146,15 @@ func OpenCSR(path string) (*MappedCSR, error) {
 		unmap:   unmap,
 		mapping: data,
 	}
+	m.uniform = m.off(1) // candidate common degree; zeroed on any mismatch
 	for v := int64(0); v < n; v++ {
-		if m.off(v+1) < m.off(v) || m.off(v+1) > nnz {
+		lo, hi := m.off(v), m.off(v+1)
+		if hi < lo || hi > nnz {
 			m.Close()
 			return nil, fmt.Errorf("topo: %s: offsets not nondecreasing at vertex %d", path, v)
+		}
+		if hi-lo != m.uniform {
+			m.uniform = 0
 		}
 	}
 	if m.off(n) != nnz {

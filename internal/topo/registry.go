@@ -524,6 +524,16 @@ func BuildSource(spec string, n int64, r *rng.Rand, opts BuildOpts) (NeighborSou
 		if opts.Path == "" {
 			return nil, fmt.Errorf("topo: mmap mode needs a file path (BuildOpts.Path)")
 		}
+		// Serialize open-or-build per cache path (see filelock.go): of any
+		// number of concurrent callers — goroutines here or other processes
+		// via the <path>.lock flock — exactly one builds the CSR; the rest
+		// block on the lock and then reuse the file through the OpenCSR
+		// below.
+		unlock, err := lockBuild(opts.Path)
+		if err != nil {
+			return nil, err
+		}
+		defer unlock()
 		if m, err := OpenCSR(opts.Path); err == nil {
 			if m.Name() != canon || m.N() != n {
 				got, gotN := m.Name(), m.N()
@@ -534,6 +544,7 @@ func BuildSource(spec string, n int64, r *rng.Rand, opts BuildOpts) (NeighborSou
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return nil, err
 		}
+		mmapCacheBuilds.Add(1)
 		csr, err := buildCSR(f, canon, n, params, r)
 		if err != nil {
 			return nil, err

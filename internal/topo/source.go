@@ -54,6 +54,19 @@ type Flat interface {
 // FlatRows implements Flat: the CSR is its own flat representation.
 func (g *CSR) FlatRows() (offsets, neighbors []int64) { return g.Offsets, g.Neighbors }
 
+// UniformDegree is the optional degree-class hint: a source whose vertices
+// all share one positive degree returns it, and the engine's bucketed hot
+// loop hoists the per-vertex degree load, the zero-degree branch, and the
+// rng rejection threshold out of the sampling loop. Return 0 when degrees
+// vary (or are unknown) — the hint must never overclaim, as the bucketed
+// loop indexes rows by the advertised width. Implicit regular families
+// (torus, hypercube, cycle) answer in O(1); mmap CSRs answer from the scan
+// OpenCSR already pays; for in-RAM flat sources the engine derives the
+// hint itself from the offset array.
+type UniformDegree interface {
+	UniformDegree() int64
+}
+
 // MaterializeCSR materializes any NeighborSource into an in-RAM CSR
 // preserving the source's neighbor enumeration order — Neighbor(v, i) of
 // the result equals src.Neighbor(v, i) for every (v, i). Rows are NOT
