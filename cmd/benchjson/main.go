@@ -9,6 +9,13 @@
 // Repeated samples of one benchmark (from -count=N) are aggregated to
 // their mean; the trailing GOMAXPROCS suffix (`-8`) is stripped so names
 // are stable across runners.
+//
+// -merge folds per-commit report files into a committed history — one
+// compact Report per line, deduplicated by commit (latest date wins)
+// and sorted by date — so the perf trajectory lives in the repository
+// instead of scattered CI artifacts:
+//
+//	go run ./cmd/benchjson -merge -history BENCH_HISTORY.jsonl BENCH_RESULTS.json
 package main
 
 import (
@@ -31,8 +38,10 @@ import (
 // back to $GITHUB_SHA so a bare `go run ./cmd/benchjson` inside an Actions
 // step is stamped even without flags.
 var (
-	commitFlag = flag.String("commit", os.Getenv("GITHUB_SHA"), "git commit the benchmarks were run at (default $GITHUB_SHA)")
-	dateFlag   = flag.String("date", "", "UTC timestamp of the run, RFC 3339 (default: now)")
+	commitFlag  = flag.String("commit", os.Getenv("GITHUB_SHA"), "git commit the benchmarks were run at (default $GITHUB_SHA)")
+	dateFlag    = flag.String("date", "", "UTC timestamp of the run, RFC 3339 (default: now)")
+	mergeFlag   = flag.Bool("merge", false, "fold the report files given as arguments into -history instead of parsing bench output")
+	historyFlag = flag.String("history", "", "history JSONL file for -merge (created if missing, rewritten deduplicated and date-sorted)")
 )
 
 // Result is the aggregated measurement of one benchmark.
@@ -59,6 +68,13 @@ type Report struct {
 
 func main() {
 	flag.Parse()
+	if *mergeFlag {
+		if err := Merge(*historyFlag, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	report, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -75,6 +91,88 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// Merge folds the Report files in paths into the history JSONL file:
+// existing history lines are read back, reports with the same commit
+// are deduplicated (the latest date wins), and the file is rewritten as
+// one compact Report per line in ascending date order. The rewrite is
+// idempotent — merging an already-present report is a no-op — which is
+// what lets CI run it unconditionally on every push.
+func Merge(history string, paths []string) error {
+	if history == "" {
+		return fmt.Errorf("-merge needs -history FILE")
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("-merge needs at least one report file argument")
+	}
+	var entries []Report
+	if data, err := os.ReadFile(history); err == nil {
+		sc := bufio.NewScanner(strings.NewReader(string(data)))
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var r Report
+			if err := json.Unmarshal([]byte(line), &r); err != nil {
+				return fmt.Errorf("%s:%d: %v", history, lineNo, err)
+			}
+			entries = append(entries, r)
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("%s: %v", history, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		var r Report
+		if err := json.Unmarshal(data, &r); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		if len(r.Benchmarks) == 0 {
+			return fmt.Errorf("%s: no benchmarks in report", path)
+		}
+		entries = append(entries, r)
+	}
+	// Dedupe by commit, latest date winning; unstamped reports key on
+	// their date so hand-run snapshots still accumulate.
+	latest := map[string]Report{}
+	for _, r := range entries {
+		key := r.Commit
+		if key == "" {
+			key = "@" + r.Date
+		}
+		if prev, ok := latest[key]; !ok || r.Date > prev.Date {
+			latest[key] = r
+		}
+	}
+	merged := make([]Report, 0, len(latest))
+	for _, r := range latest {
+		merged = append(merged, r)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Date != merged[j].Date {
+			return merged[i].Date < merged[j].Date
+		}
+		return merged[i].Commit < merged[j].Commit
+	})
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	for _, r := range merged {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(history, []byte(buf.String()), 0o644)
 }
 
 // benchLine matches one benchmark result line: name, iteration count,

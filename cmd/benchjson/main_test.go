@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -90,5 +93,118 @@ func TestEndToEndAgainstRealBenchOutput(t *testing.T) {
 	}
 	if _, ok := report.Benchmarks["AliasSample"]; !ok {
 		t.Errorf("real benchmark not captured: %v", report.Benchmarks)
+	}
+}
+
+// mergeReport writes one Report file for Merge tests.
+func mergeReport(t *testing.T, dir, name, commit, date string, ns float64) string {
+	t.Helper()
+	r := Report{Commit: commit, Date: date, Benchmarks: map[string]Result{
+		"EngineGraphRoundSparse/n=10000000": {NsPerOp: ns, Samples: 5},
+	}}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// readHistory parses a merged history file back into Reports.
+func readHistory(t *testing.T, path string) []Report {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Report
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var r Report
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("history line %q: %v", line, err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestMergeAccumulates pins the -merge contract: reports accumulate
+// across calls, entries stay date-sorted, same-commit reports
+// deduplicate with the latest date winning, and re-merging an
+// already-present report leaves the file byte-identical (idempotence —
+// CI runs the merge unconditionally).
+func TestMergeAccumulates(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "BENCH_HISTORY.jsonl")
+
+	b := mergeReport(t, dir, "b.json", "bbb", "2026-02-01T00:00:00Z", 2)
+	a := mergeReport(t, dir, "a.json", "aaa", "2026-01-01T00:00:00Z", 1)
+	if err := Merge(hist, []string{b}); err != nil {
+		t.Fatalf("first merge: %v", err)
+	}
+	if err := Merge(hist, []string{a}); err != nil {
+		t.Fatalf("second merge: %v", err)
+	}
+	got := readHistory(t, hist)
+	if len(got) != 2 || got[0].Commit != "aaa" || got[1].Commit != "bbb" {
+		t.Fatalf("history not date-sorted: %+v", got)
+	}
+
+	// Re-running a commit replaces its entry (latest date wins) rather
+	// than appending a duplicate.
+	b2 := mergeReport(t, dir, "b2.json", "bbb", "2026-03-01T00:00:00Z", 3)
+	if err := Merge(hist, []string{b2}); err != nil {
+		t.Fatalf("re-merge: %v", err)
+	}
+	got = readHistory(t, hist)
+	if len(got) != 2 || got[1].Date != "2026-03-01T00:00:00Z" {
+		t.Fatalf("same-commit dedupe failed: %+v", got)
+	}
+	if got[1].Benchmarks["EngineGraphRoundSparse/n=10000000"].NsPerOp != 3 {
+		t.Fatalf("latest report did not win: %+v", got[1])
+	}
+
+	// Idempotence: merging the winning report again changes nothing.
+	before, _ := os.ReadFile(hist)
+	if err := Merge(hist, []string{b2}); err != nil {
+		t.Fatalf("idempotent merge: %v", err)
+	}
+	after, _ := os.ReadFile(hist)
+	if string(before) != string(after) {
+		t.Fatal("idempotent re-merge rewrote the history differently")
+	}
+}
+
+func TestMergeRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	hist := filepath.Join(dir, "h.jsonl")
+	if err := Merge("", []string{"x"}); err == nil {
+		t.Error("missing -history accepted")
+	}
+	if err := Merge(hist, nil); err == nil {
+		t.Error("no report files accepted")
+	}
+	if err := Merge(hist, []string{filepath.Join(dir, "nope.json")}); err == nil {
+		t.Error("missing report file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if err := Merge(hist, []string{bad}); err == nil {
+		t.Error("corrupt report accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"commit":"x","benchmarks":{}}`), 0o644)
+	if err := Merge(hist, []string{empty}); err == nil {
+		t.Error("benchmark-free report accepted")
+	}
+	// A corrupt history line fails loudly rather than silently dropping
+	// committed perf data.
+	good := mergeReport(t, dir, "g.json", "ccc", "2026-01-01T00:00:00Z", 1)
+	os.WriteFile(hist, []byte("garbage\n"), 0o644)
+	if err := Merge(hist, []string{good}); err == nil {
+		t.Error("corrupt history accepted")
 	}
 }

@@ -4,7 +4,8 @@
 // Examples:
 //
 //	plurality -n 100000 -k 8 -bias auto
-//	plurality -rule median -n 100000 -k 32 -bias 2000 -trace
+//	plurality -rule median -n 100000 -k 32 -bias 2000 -print-rounds
+//	plurality -n 1000000 -k 8 -bias auto -trace run-trace.jsonl
 //	plurality -rule hplurality:9 -engine sampled -n 50000 -k 16 -bias auto
 //	plurality -rule undecided -n 100000 -k 8 -bias 20000
 //	plurality -engine graph -graph torus -n 10000 -k 4 -bias 2000
@@ -25,6 +26,7 @@ import (
 	"plurality/internal/core"
 	"plurality/internal/dynamics"
 	"plurality/internal/engine"
+	"plurality/internal/obs"
 	"plurality/internal/rng"
 	"plurality/internal/topo"
 	"plurality/internal/trace"
@@ -32,28 +34,29 @@ import (
 
 func main() {
 	var (
-		ruleName  = flag.String("rule", "3majority", "dynamics: 3majority | 3majority-utie | hplurality:H | median | polling | 2choices | 2choices-keepown | undecided")
-		engName   = flag.String("engine", "auto", "engine: auto | multinomial | sampled | graph | population")
-		graphName = flag.String("graph", "complete", "topology for -engine graph (internal/topo registry spec): complete | cycle | star | torus[:DIMS] | hypercube | regular:D | gnp:P | smallworld:K:BETA | ba:M | sbm:B:PIN:POUT | barbell:D")
-		graphMode = flag.String("graph-mode", "auto", "topology backend for -engine graph: auto | implicit (zero materialization) | csr (force in-RAM) | mmap (serve from -graph-file, building it first if absent)")
-		graphFile = flag.String("graph-file", "", "CSR file for -graph-mode mmap (created atomically when missing)")
-		sampler   = flag.String("sampler", "default", "rng draw discipline for -engine graph: default (per-draw byte contract, golden-pinned) | batch (bulk block draws; faster, certified by its own golden)")
-		n         = flag.Int64("n", 100_000, "number of agents")
-		k         = flag.Int("k", 8, "number of colors")
-		biasFlag  = flag.String("bias", "auto", "initial additive bias (integer) or 'auto' for the Corollary 1 threshold")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		maxRounds = flag.Int("max-rounds", 1_000_000, "round budget")
-		advName   = flag.String("adversary", "none", "adversary: none | strongest:F | spread:F | random:F | boost:F")
-		workers   = flag.Int("workers", 4, "worker goroutines for the sampled/graph engines")
-		trace     = flag.Bool("trace", false, "print the configuration every round")
-		mPlur     = flag.Int64("m-plurality", -1, "stop at M-plurality consensus instead of full consensus")
-		dumpPath  = flag.String("dump-trajectory", "", "write the per-round trajectory to this CSV file")
-		phases    = flag.Bool("phases", false, "print the Lemma 3/4/5 phase segmentation after the run")
+		ruleName    = flag.String("rule", "3majority", "dynamics: 3majority | 3majority-utie | hplurality:H | median | polling | 2choices | 2choices-keepown | undecided")
+		engName     = flag.String("engine", "auto", "engine: auto | multinomial | sampled | graph | population")
+		graphName   = flag.String("graph", "complete", "topology for -engine graph (internal/topo registry spec): complete | cycle | star | torus[:DIMS] | hypercube | regular:D | gnp:P | smallworld:K:BETA | ba:M | sbm:B:PIN:POUT | barbell:D")
+		graphMode   = flag.String("graph-mode", "auto", "topology backend for -engine graph: auto | implicit (zero materialization) | csr (force in-RAM) | mmap (serve from -graph-file, building it first if absent)")
+		graphFile   = flag.String("graph-file", "", "CSR file for -graph-mode mmap (created atomically when missing)")
+		sampler     = flag.String("sampler", "default", "rng draw discipline for -engine graph: default (per-draw byte contract, golden-pinned) | batch (bulk block draws; faster, certified by its own golden)")
+		n           = flag.Int64("n", 100_000, "number of agents")
+		k           = flag.Int("k", 8, "number of colors")
+		biasFlag    = flag.String("bias", "auto", "initial additive bias (integer) or 'auto' for the Corollary 1 threshold")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		maxRounds   = flag.Int("max-rounds", 1_000_000, "round budget")
+		advName     = flag.String("adversary", "none", "adversary: none | strongest:F | spread:F | random:F | boost:F")
+		workers     = flag.Int("workers", 4, "worker goroutines for the sampled/graph engines")
+		printRounds = flag.Bool("print-rounds", false, "print the configuration every round")
+		traceFile   = flag.String("trace", "", "write a JSONL telemetry trace (per-round wall time, convergence stats, memory samples; cmd/tracereport renders it) to this file")
+		mPlur       = flag.Int64("m-plurality", -1, "stop at M-plurality consensus instead of full consensus")
+		dumpPath    = flag.String("dump-trajectory", "", "write the per-round trajectory to this CSV file")
+		phases      = flag.Bool("phases", false, "print the Lemma 3/4/5 phase segmentation after the run")
 	)
 	flag.Parse()
 
 	if err := run(*ruleName, *engName, *graphName, *graphMode, *graphFile, *sampler, *n, *k, *biasFlag, *seed,
-		*maxRounds, *advName, *workers, *trace, *mPlur, *dumpPath, *phases); err != nil {
+		*maxRounds, *advName, *workers, *printRounds, *traceFile, *mPlur, *dumpPath, *phases); err != nil {
 		fmt.Fprintln(os.Stderr, "plurality:", err)
 		os.Exit(1)
 	}
@@ -61,7 +64,7 @@ func main() {
 
 func run(ruleName, engName, graphName, graphMode, graphFile, samplerName string, n int64, k int,
 	biasFlag string, seed uint64, maxRounds int, advName string, workers int,
-	traceRounds bool, mPlur int64, dumpPath string, phases bool) error {
+	printRounds bool, traceFile string, mPlur int64, dumpPath string, phases bool) error {
 
 	bias, err := parseBias(biasFlag, n, k)
 	if err != nil {
@@ -111,11 +114,16 @@ func run(ruleName, engName, graphName, graphMode, graphFile, samplerName string,
 		Stop:      stop,
 		TrackBias: true,
 	}
+	var telemetry *obs.Recorder
+	if traceFile != "" {
+		telemetry = &obs.Recorder{}
+		opts.Observer = telemetry // typed pointer assigned only when non-nil
+	}
 	opts.OnRound = func(round int, c colorcfg.Config) {
 		if rec != nil {
 			rec.Observe(round, c)
 		}
-		if traceRounds {
+		if printRounds {
 			first, second := c.TopTwo()
 			fmt.Printf("round %5d  top=%d  c1=%d  c2=%d  bias=%d  support=%d\n",
 				round, c.Plurality(), first, second, c.Bias(), c.Support())
@@ -148,6 +156,24 @@ func run(ruleName, engName, graphName, graphMode, graphFile, samplerName string,
 			return fmt.Errorf("dump trajectory: %w", err)
 		}
 		fmt.Printf("trajectory: %d rounds written to %s\n", rec.Len(), dumpPath)
+	}
+	if telemetry != nil {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		werr := telemetry.WriteTrace(f, obs.Header{
+			Engine: eng.Name(), Rule: ruleName, N: n, K: k, Seed: seed,
+		})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("write trace: %w", werr)
+		}
+		sum := telemetry.Summarize()
+		fmt.Printf("trace:  %d rounds (%d retained) written to %s, %.1f ns/agent\n",
+			sum.Rounds, sum.Retained, traceFile, sum.NsPerAgent)
 	}
 	return nil
 }

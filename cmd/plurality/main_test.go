@@ -1,12 +1,14 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"plurality/internal/colorcfg"
 	"plurality/internal/dynamics"
+	"plurality/internal/obs"
 	"plurality/internal/rng"
 )
 
@@ -152,27 +154,62 @@ func TestParseAdversary(t *testing.T) {
 func TestRunEndToEnd(t *testing.T) {
 	// Small end-to-end run through the CLI plumbing (no flags).
 	err := run("3majority", "auto", "complete", "auto", "", "default", 2000, 3, "auto", 1, 10000,
-		"none", 2, false, -1, "", false)
+		"none", 2, false, "", -1, "", false)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// Undecided path.
 	err = run("undecided", "auto", "complete", "auto", "", "default", 2000, 3, "500", 1, 10000,
-		"none", 2, false, -1, "", false)
+		"none", 2, false, "", -1, "", false)
 	if err != nil {
 		t.Fatalf("run undecided: %v", err)
 	}
 	// Keep-own path with adversary and M-plurality stop.
 	err = run("2choices-keepown", "auto", "complete", "auto", "", "default", 2000, 3, "auto", 1, 10000,
-		"strongest:2", 2, false, 50, "", true)
+		"strongest:2", 2, false, "", 50, "", true)
 	if err != nil {
 		t.Fatalf("run keep-own: %v", err)
 	}
 	// Error paths.
-	if err := run("nope", "auto", "complete", "auto", "", "default", 100, 2, "auto", 1, 10, "none", 1, false, -1, "", false); err == nil {
+	if err := run("nope", "auto", "complete", "auto", "", "default", 100, 2, "auto", 1, 10, "none", 1, false, "", -1, "", false); err == nil {
 		t.Error("bad rule accepted")
 	}
-	if err := run("3majority", "nope", "complete", "auto", "", "default", 100, 2, "auto", 1, 10, "none", 1, false, -1, "", false); err == nil {
+	if err := run("3majority", "nope", "complete", "auto", "", "default", 100, 2, "auto", 1, 10, "none", 1, false, "", -1, "", false); err == nil {
 		t.Error("bad engine accepted")
+	}
+}
+
+// TestRunTraceFile pins the -trace flag: the run writes a parseable
+// JSONL trace whose round count matches the run and whose bytes the
+// tolerant reader consumes without skips.
+func TestRunTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	err := run("3majority", "auto", "complete", "auto", "", "default", 2000, 3, "auto", 1, 10000,
+		"none", 2, false, path, -1, "", false)
+	if err != nil {
+		t.Fatalf("run with -trace: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	defer f.Close()
+	traces, skipped, err := obs.ReadTraces(f)
+	if err != nil || skipped != 0 {
+		t.Fatalf("parsing trace: err=%v skipped=%d", err, skipped)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("got %d trace runs, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Header.Rule != "3majority" || tr.Header.N != 2000 || tr.Header.K != 3 || tr.Header.Seed != 1 {
+		t.Fatalf("trace header %+v does not describe the run", tr.Header)
+	}
+	if tr.Summary == nil || tr.Summary.Rounds < 1 || len(tr.Rounds) != tr.Summary.Retained {
+		t.Fatalf("trace summary inconsistent: %+v with %d round lines", tr.Summary, len(tr.Rounds))
+	}
+	last := tr.Rounds[len(tr.Rounds)-1]
+	if last.CMax <= 0 || last.CMax > 2000 {
+		t.Fatalf("implausible final c_max %d", last.CMax)
 	}
 }

@@ -9,6 +9,7 @@
 //	sweep -graphs complete,regular:8,smallworld:10:0.1 -ns 10000 -reps 20
 //	sweep -workers 8 -format jsonl -out grid.jsonl        # stream replicates
 //	sweep -format jsonl -out grid.jsonl -resume           # finish an interrupted grid
+//	sweep -ns 100000 -reps 8 -trace-dir traces/           # per-cell telemetry traces
 //
 // Topology specs resolve through the internal/topo registry (the same
 // names the service and cmd/validate accept). "complete" runs the paper's
@@ -43,6 +44,7 @@ import (
 	"plurality/internal/dynamics"
 	"plurality/internal/engine"
 	"plurality/internal/mc"
+	"plurality/internal/obs"
 	"plurality/internal/rng"
 	"plurality/internal/topo"
 )
@@ -67,6 +69,7 @@ type config struct {
 	format    string
 	out       string
 	resume    bool
+	traceDir  string
 }
 
 func main() {
@@ -87,6 +90,7 @@ func main() {
 	flag.StringVar(&cfg.format, "format", "csv", "output format: csv (one aggregated row per cell) | jsonl (one record per replicate)")
 	flag.StringVar(&cfg.out, "out", "", "output file (default stdout; required for -resume)")
 	flag.BoolVar(&cfg.resume, "resume", false, "resume an interrupted -format jsonl -out grid, simulating only missing replicates")
+	flag.StringVar(&cfg.traceDir, "trace-dir", "", "write one JSONL telemetry trace file per grid cell (one trace run per replicate simulated this process; cmd/tracereport renders them) into this directory")
 	flag.Parse()
 
 	// Ctrl-C cancels cleanly: in-flight replicates drain, the JSONL file
@@ -113,6 +117,11 @@ func run(ctx context.Context, cfg config) error {
 	}
 	if _, err := engine.ParseSampler(cfg.sampler); err != nil {
 		return err
+	}
+	if cfg.traceDir != "" {
+		if err := os.MkdirAll(cfg.traceDir, 0o755); err != nil {
+			return err
+		}
 	}
 	var done map[string]map[int]mc.Record
 	if cfg.resume {
@@ -327,6 +336,21 @@ func runCell(ctx context.Context, cfg config, pool *mc.Pool, w io.Writer,
 		}
 		return g
 	})
+	var ct *cellTracer
+	if cfg.traceDir != "" {
+		engLabel := "graph"
+		switch {
+		case onClique && isProb:
+			engLabel = "multinomial"
+		case onClique:
+			engLabel = "sampled"
+		}
+		f, err := os.Create(filepath.Join(cfg.traceDir, traceFileName(name)))
+		if err != nil {
+			return err
+		}
+		ct = &cellTracer{f: f, engine: engLabel, rule: rule.Name(), n: n, k: k}
+	}
 	job := mc.Job{
 		Name:       name,
 		Seed:       cellSeed(cfg.seed, name),
@@ -351,7 +375,11 @@ func runCell(ctx context.Context, cfg config, pool *mc.Pool, w io.Writer,
 					engine.GraphOpts{Sampler: sampler})
 			}
 			defer e.Close()
-			res := core.Run(e, core.Options{MaxRounds: maxRounds, Rand: r})
+			opts := core.Options{MaxRounds: maxRounds, Rand: r}
+			if ct != nil {
+				opts.Observer = ct.tracer.Recorder(seed)
+			}
+			res := core.Run(e, opts)
 			return mc.Record{Rounds: res.Rounds, Success: res.WonInitialPlurality}
 		}
 	}
@@ -359,7 +387,19 @@ func runCell(ctx context.Context, cfg config, pool *mc.Pool, w io.Writer,
 	if cfg.format == "jsonl" {
 		sink = func(rec mc.Record) error { return mc.AppendRecord(w, rec) }
 	}
-	recs, err := pool.Run(ctx, job, mc.RunOpts{Done: done[name], Sink: sink})
+	var onProgress func(mc.Record, int, int)
+	if ct != nil {
+		onProgress = ct.flush
+	}
+	recs, err := pool.Run(ctx, job, mc.RunOpts{Done: done[name], Sink: sink, OnProgress: onProgress})
+	if ct != nil {
+		if cerr := ct.f.Close(); err == nil {
+			err = ct.err
+			if err == nil {
+				err = cerr
+			}
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -374,6 +414,55 @@ func runCell(ctx context.Context, cfg config, pool *mc.Pool, w io.Writer,
 		}
 	}
 	return nil
+}
+
+// cellTracer owns one cell's -trace-dir output: an obs.Tracer handing
+// per-replicate Recorders to the job closures, and the cell's JSONL
+// trace file. Replicates execute concurrently, but flush runs on the
+// coordinating goroutine in replicate order (OnProgress contract), so
+// the file carries one trace run per replicate in replicate order —
+// deterministic for a fixed seed regardless of -workers. Replicates
+// adopted from a -resume file never re-execute, so their traces are not
+// re-created: a resumed cell's trace file covers only the replicates
+// simulated by this process.
+type cellTracer struct {
+	tracer obs.Tracer
+	f      *os.File
+	engine string
+	rule   string
+	n      int64
+	k      int
+	err    error // first WriteTrace failure; latches, surfaced after the cell
+}
+
+// flush claims the finished replicate's recorder and appends its trace
+// run to the cell file. mc fills rec.Seed for every computed replicate,
+// which is the key the job closure registered the recorder under.
+func (ct *cellTracer) flush(rec mc.Record, done, total int) {
+	r := ct.tracer.Take(rec.Seed)
+	if r == nil || ct.err != nil {
+		return
+	}
+	ct.err = r.WriteTrace(ct.f, obs.Header{
+		Engine: ct.engine, Rule: ct.rule, N: ct.n, K: ct.k,
+		Seed: rec.Seed, Job: rec.Job, Rep: rec.Rep,
+	})
+}
+
+// traceFileName maps a cell name to a filesystem-safe JSONL file name:
+// every byte outside [A-Za-z0-9._-] becomes '_' (the full cell name
+// still rides inside the file, in each trace run's job field).
+func traceFileName(cell string) string {
+	out := []byte(cell)
+	for i, b := range out {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9',
+			b == '.', b == '_', b == '-':
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out) + ".jsonl"
 }
 
 // cellName is the stable grid-cell identifier used in JSONL records and

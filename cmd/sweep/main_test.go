@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"plurality/internal/mc"
+	"plurality/internal/obs"
 )
 
 // testCfg is a grid small enough for unit tests that still exercises both
@@ -346,5 +347,85 @@ func TestCellSeedStable(t *testing.T) {
 	}
 	if a == cellSeed(1, "rule/n=10/k=4/c=1") || a == cellSeed(2, "rule/n=10/k=2/c=1") {
 		t.Error("cellSeed collides across cells/seeds")
+	}
+}
+
+// TestSweepTraceDir pins the -trace-dir surface: one JSONL trace file
+// per grid cell, one parseable trace run per replicate in replicate
+// order, headers tied to the cell, and — because the observer consumes
+// no rng — output records identical to an untraced run of the same grid.
+func TestSweepTraceDir(t *testing.T) {
+	cfg := testCfg()
+	cfg.format = "jsonl"
+	plain := runSweep(t, cfg, nil)
+
+	cfg.traceDir = t.TempDir()
+	if err := os.MkdirAll(cfg.traceDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	traced := runSweep(t, cfg, nil)
+	if traced != plain {
+		t.Fatal("tracing changed the sweep's record output")
+	}
+
+	recs, err := mc.ReadRecords(strings.NewReader(traced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byJob := mc.GroupByJob(recs)
+	files, err := filepath.Glob(filepath.Join(cfg.traceDir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(byJob) {
+		t.Fatalf("got %d trace files, want one per cell (%d)", len(files), len(byJob))
+	}
+	seenJobs := map[string]bool{}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces, skipped, err := obs.ReadTraces(f)
+		f.Close()
+		if err != nil || skipped != 0 {
+			t.Fatalf("%s: err=%v skipped=%d", path, err, skipped)
+		}
+		if len(traces) != cfg.reps {
+			t.Fatalf("%s: %d trace runs, want %d", path, len(traces), cfg.reps)
+		}
+		job := traces[0].Header.Job
+		byRep := byJob[job]
+		if byRep == nil {
+			t.Fatalf("%s: trace job %q not in the sweep output", path, job)
+		}
+		seenJobs[job] = true
+		for i, tr := range traces {
+			if tr.Header.Rep != i || tr.Header.Job != job {
+				t.Fatalf("%s: trace %d is rep %d of %q, want replicate order", path, i, tr.Header.Rep, tr.Header.Job)
+			}
+			if tr.Header.N != 1000 || tr.Header.Seed != byRep[i].Seed {
+				t.Fatalf("%s rep %d: header %+v not tied to record %+v", path, i, tr.Header, byRep[i])
+			}
+			if tr.Summary == nil || tr.Summary.Rounds != byRep[i].Rounds {
+				t.Fatalf("%s rep %d: summary %+v disagrees with record rounds %d", path, i, tr.Summary, byRep[i].Rounds)
+			}
+		}
+	}
+	if len(seenJobs) != len(byJob) {
+		t.Fatalf("trace files cover %d cells, want %d", len(seenJobs), len(byJob))
+	}
+}
+
+// TestTraceFileName pins the sanitization: output is filesystem-safe on
+// every platform and distinct cells map to distinct names in practice.
+func TestTraceFileName(t *testing.T) {
+	got := traceFileName("3majority/g=smallworld:4:0.1/n=1000/k=2/c=0.5")
+	want := "3majority_g_smallworld_4_0.1_n_1000_k_2_c_0.5.jsonl"
+	if got != want {
+		t.Fatalf("traceFileName = %q, want %q", got, want)
+	}
+	if strings.ContainsAny(got, "/\\:=") {
+		t.Fatalf("unsafe bytes survived: %q", got)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"plurality/internal/adversary"
 	"plurality/internal/colorcfg"
 	"plurality/internal/engine"
+	"plurality/internal/obs"
 	"plurality/internal/rng"
 )
 
@@ -91,6 +92,12 @@ type Options struct {
 	Rand *rng.Rand
 	// TrackBias records the bias trajectory in Result.BiasTrajectory.
 	TrackBias bool
+	// Observer, if non-nil, is attached to the engine before the first
+	// round and receives per-round telemetry (wall time, post-round
+	// configuration — see obs.Observer). It never touches Rand, so a
+	// seeded run is byte-identical with and without one. Engines that do
+	// not support observation silently ignore it.
+	Observer obs.Observer
 }
 
 // DefaultMaxRounds is the safety bound applied when Options.MaxRounds is 0.
@@ -133,6 +140,9 @@ func Run(e engine.Engine, opts Options) Result {
 	var adv adversary.Adversary = adversary.None{}
 	if opts.Adversary != nil {
 		adv = opts.Adversary
+	}
+	if opts.Observer != nil {
+		engine.Observe(e, opts.Observer)
 	}
 
 	initial := e.Config()

@@ -32,6 +32,7 @@ import (
 	"plurality/internal/colorcfg"
 	"plurality/internal/dist"
 	"plurality/internal/dynamics"
+	"plurality/internal/obs"
 	"plurality/internal/rng"
 )
 
@@ -77,6 +78,7 @@ type CliqueMultinomial struct {
 	round int
 	probs []float64
 	next  []int64
+	obs   obs.Observer
 }
 
 // NewCliqueMultinomial builds the exact engine from an initial
@@ -120,11 +122,16 @@ func (e *CliqueMultinomial) Config() colorcfg.Config { return e.cfg.Clone() }
 
 // Step implements Engine: C(t+1) ~ Multinomial(n, p(C(t))).
 func (e *CliqueMultinomial) Step(r *rng.Rand) {
+	began := obs.Began(e.obs)
 	e.model.AdoptionProbs(e.cfg, e.probs)
 	dist.Multinomial(r, e.n, e.probs, e.next)
 	copy(e.cfg, e.next)
 	e.round++
+	observeEnd(e.obs, began, e.round, e.n, e.cfg)
 }
+
+// SetObserver implements Observable.
+func (e *CliqueMultinomial) SetObserver(o obs.Observer) { e.obs = o }
 
 // Repaint implements Engine.
 func (e *CliqueMultinomial) Repaint(from, to Color, m int64) int64 {
@@ -185,6 +192,7 @@ type CliqueSampled struct {
 	alias   *dist.Alias
 	workers []*sampledWorker
 	pool    *workerPool
+	obs     obs.Observer
 }
 
 type sampledWorker struct {
@@ -273,6 +281,7 @@ func (e *CliqueSampled) Config() colorcfg.Config { return e.cfg.Clone() }
 // the rule; the new counts are the sum of per-worker tallies. Steady-state
 // cost is O(n·h) alias draws and zero allocations.
 func (e *CliqueSampled) Step(_ *rng.Rand) {
+	began := obs.Began(e.obs)
 	e.alias.ResetCounts(e.cfg)
 	if e.pool == nil {
 		e.workers[0].run(e.rule, e.alias)
@@ -286,7 +295,11 @@ func (e *CliqueSampled) Step(_ *rng.Rand) {
 		}
 	}
 	e.round++
+	observeEnd(e.obs, began, e.round, e.n, e.cfg)
 }
+
+// SetObserver implements Observable.
+func (e *CliqueSampled) SetObserver(o obs.Observer) { e.obs = o }
 
 // run processes the worker's agent shard. Samples are drawn in batches with
 // SampleMany — one tight loop over the alias table — and then consumed h at

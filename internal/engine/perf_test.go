@@ -9,6 +9,7 @@ import (
 	"plurality/internal/dist"
 	"plurality/internal/dynamics"
 	"plurality/internal/graph"
+	"plurality/internal/obs"
 	"plurality/internal/rng"
 	"plurality/internal/stats"
 	"plurality/internal/topo"
@@ -82,6 +83,22 @@ func TestStepZeroAllocs(t *testing.T) {
 			e.Step(r) // warm up pools, lazy paths
 			if a := testing.AllocsPerRun(20, func() { e.Step(r) }); a != 0 {
 				t.Errorf("%s: steady-state Step allocates %.1f objects/op, want 0", name, a)
+			}
+			// Attaching a Recorder must not reintroduce allocations either:
+			// the observer call passes the live cfg slice by interface value
+			// and the ring is allocated once, on the first observed round
+			// (absorbed by the warm-up Step below). MemEvery=1 keeps the
+			// ReadMemStats branch inside the measured window.
+			rec := &obs.Recorder{Cap: 8, MemEvery: 1}
+			if !Observe(e, rec) {
+				t.Fatalf("%s: engine is not Observable", name)
+			}
+			e.Step(r)
+			if a := testing.AllocsPerRun(20, func() { e.Step(r) }); a != 0 {
+				t.Errorf("%s: observed Step allocates %.1f objects/op, want 0", name, a)
+			}
+			if rec.Total() < 21 {
+				t.Errorf("%s: observer saw %d rounds, want >= 21", name, rec.Total())
 			}
 		})
 	}

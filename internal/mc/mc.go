@@ -33,6 +33,7 @@ package mc
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"plurality/internal/rng"
 	"plurality/internal/stats"
@@ -103,6 +104,25 @@ type RunOpts struct {
 	// survive a crash-resume without double-counting. Like Sink, it runs
 	// on the coordinating goroutine, never concurrently with itself.
 	OnProgress func(rec Record, done, total int)
+	// OnTiming, if non-nil, receives each newly computed replicate's
+	// scheduling telemetry. Timing is measured only when OnTiming is set
+	// and delivered on the coordinating goroutine in *completion* order
+	// (unlike Sink/OnProgress it is not reordered to replicate order —
+	// queue-wait telemetry is about when things actually ran). Timing is
+	// a side channel by design: it never enters Record, which stays a
+	// pure function of the job spec.
+	OnTiming func(RepTiming)
+}
+
+// RepTiming is the scheduling telemetry of one executed replicate.
+type RepTiming struct {
+	// Rep is the replicate index; Worker is the pool worker that ran it.
+	Rep    int
+	Worker int
+	// QueueWait is how long the replicate waited between job start and
+	// the moment a worker picked it up; Exec is its run time.
+	QueueWait time.Duration
+	Exec      time.Duration
 }
 
 // RepSeeds returns the n per-replicate seeds derived from a job's base
@@ -179,15 +199,35 @@ func (p *Pool) Run(ctx context.Context, job Job, opts RunOpts) ([]Record, error)
 		}
 		return nil
 	}
+	var timings []RepTiming
+	var jobStart time.Time
+	if opts.OnTiming != nil {
+		timings = make([]RepTiming, n)
+		jobStart = time.Now()
+	}
 	err := p.dispatch(ctx, n,
 		func(i int) bool { return have[i] },
-		func(i int) {
+		func(i, w int) {
+			var start time.Time
+			if timings != nil {
+				start = time.Now()
+			}
 			rec := job.New(seeds[i])()
 			rec.Job, rec.Rep, rec.Seed = job.Name, i, seeds[i]
 			recs[i] = rec
+			if timings != nil {
+				timings[i] = RepTiming{
+					Rep: i, Worker: w,
+					QueueWait: start.Sub(jobStart),
+					Exec:      time.Since(start),
+				}
+			}
 		},
 		func(i int) error {
 			comp[i] = true
+			if opts.OnTiming != nil {
+				opts.OnTiming(timings[i])
+			}
 			return advance()
 		})
 	if err != nil {

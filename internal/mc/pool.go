@@ -4,6 +4,8 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"plurality/internal/rng"
 )
@@ -12,10 +14,17 @@ import (
 // outlive many jobs (a whole sweep grid or experiment suite), so the
 // per-round cost of replicate parallelism is a channel send, not a
 // goroutine spawn. A Pool is safe for concurrent Run/Map calls.
+//
+// Each worker keeps cumulative busy-time and task counters (two clock
+// reads per task — noise next to any real replicate), so long-lived
+// holders like pluralityd can report per-worker utilization without
+// instrumenting jobs: see WorkerBusy / WorkerTasks.
 type Pool struct {
 	workers int
-	tasks   chan func()
+	tasks   chan func(worker int)
 	wg      sync.WaitGroup
+	busyNs  []atomic.Int64 // cumulative busy nanoseconds per worker
+	done    []atomic.Int64 // cumulative completed tasks per worker
 }
 
 // NewPool starts a pool with the given parallelism (<= 0 means
@@ -24,21 +33,50 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{workers: workers, tasks: make(chan func())}
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan func(worker int)),
+		busyNs:  make([]atomic.Int64, workers),
+		done:    make([]atomic.Int64, workers),
+	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer p.wg.Done()
 			for f := range p.tasks {
-				f()
+				start := time.Now()
+				f(w)
+				p.busyNs[w].Add(time.Since(start).Nanoseconds())
+				p.done[w].Add(1)
 			}
-		}()
+		}(i)
 	}
 	return p
 }
 
 // Workers reports the pool's parallelism.
 func (p *Pool) Workers() int { return p.workers }
+
+// WorkerBusy returns a snapshot of each worker's cumulative busy time
+// since the pool started. Safe to call concurrently with running jobs;
+// in-flight tasks are not included until they finish.
+func (p *Pool) WorkerBusy() []time.Duration {
+	out := make([]time.Duration, p.workers)
+	for i := range out {
+		out[i] = time.Duration(p.busyNs[i].Load())
+	}
+	return out
+}
+
+// WorkerTasks returns a snapshot of each worker's cumulative completed
+// task count since the pool started.
+func (p *Pool) WorkerTasks() []int64 {
+	out := make([]int64, p.workers)
+	for i := range out {
+		out[i] = p.done[i].Load()
+	}
+	return out
+}
 
 // Close stops the workers after in-flight tasks finish. It must not be
 // called while a Run or Map is active.
@@ -69,12 +107,12 @@ func Shared(workers int) *Pool {
 	return p
 }
 
-// dispatch runs task(i) on the pool for every i in [0, n) with skip(i)
-// false, calling after(i) on the coordinating goroutine as each task
-// completes. Submission stops on context cancellation or an after error;
-// in-flight tasks always drain before dispatch returns. skip and after
-// may be nil.
-func (p *Pool) dispatch(ctx context.Context, n int, skip func(int) bool, task func(int), after func(int) error) error {
+// dispatch runs task(i, worker) on the pool for every i in [0, n) with
+// skip(i) false, calling after(i) on the coordinating goroutine as each
+// task completes. Submission stops on context cancellation or an after
+// error; in-flight tasks always drain before dispatch returns. skip and
+// after may be nil.
+func (p *Pool) dispatch(ctx context.Context, n int, skip func(int) bool, task func(i, worker int), after func(int) error) error {
 	todo := make([]int, 0, n)
 	for i := 0; i < n; i++ {
 		if skip == nil || !skip(i) {
@@ -100,7 +138,7 @@ func (p *Pool) dispatch(ctx context.Context, n int, skip func(int) bool, task fu
 		}
 		if canSubmit {
 			i := todo[sub]
-			t := func() { task(i); done <- i }
+			t := func(w int) { task(i, w); done <- i }
 			select {
 			case p.tasks <- t:
 				sub++
@@ -135,7 +173,7 @@ func Map[T any](ctx context.Context, p *Pool, reps int, seed uint64, f func(rep 
 		return out, nil
 	}
 	seeds := RepSeeds(seed, reps)
-	err := p.dispatch(ctx, reps, nil, func(i int) {
+	err := p.dispatch(ctx, reps, nil, func(i, _ int) {
 		out[i] = f(i, rng.New(seeds[i]))
 	}, nil)
 	return out, err

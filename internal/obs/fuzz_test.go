@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTraces pins the reader's tolerance contract: arbitrary bytes —
+// torn lines, corrupt JSON, hostile field types, embedded NULs — must
+// never panic and never surface an error from a non-erroring reader.
+func FuzzReadTraces(f *testing.F) {
+	f.Add([]byte(`{"type":"run","engine":"e","n":10,"k":2}` + "\n" +
+		`{"type":"round","round":1,"wall_ns":7,"c_max":9}` + "\n" +
+		`{"type":"summary","rounds":1,"wall_ns":7}` + "\n"))
+	f.Add([]byte(`{"type":"round","round":1`))
+	f.Add([]byte("\x00\xff{}\n{\"type\":\"round\"}\n"))
+	f.Add([]byte(`{"type":"round","round":1e309}`))
+	f.Add([]byte(strings.Repeat(`{"type":"run"}`+"\n", 100)))
+	f.Add([]byte(`{"type":` + strings.Repeat("[", 1000)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		traces, _, err := ReadTraces(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("ReadTraces returned error on in-memory input: %v", err)
+		}
+		// Sanity: every parsed round line consumed at least the bytes of
+		// its minimal encoding, so the output cannot outgrow the input.
+		total := 0
+		for _, tr := range traces {
+			total += len(tr.Rounds) + 1
+		}
+		if total > len(data) {
+			t.Fatalf("parsed %d records from %d input bytes", total, len(data))
+		}
+	})
+}

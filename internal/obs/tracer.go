@@ -1,0 +1,57 @@
+package obs
+
+import "sync"
+
+// Tracer hands out per-replicate Recorders to the concurrently
+// executing replicates of an mc job, keyed by the replicate's private
+// rng seed (the one value both the job closure and the serialized
+// result path can see — mc.Record carries it back as rec.Seed).
+//
+// Usage: the job's New closure calls Recorder(seed) and attaches the
+// result as the run's observer; the coordinator's serialized
+// Sink/OnProgress hook calls Take(rec.Seed) to claim the finished
+// recorder and flush it. Recorder/Take are safe for concurrent use;
+// each individual Recorder is still owned by exactly one goroutine at
+// a time (the replicate until it finishes, then the coordinator).
+type Tracer struct {
+	// Cap / MemEvery configure every Recorder handed out (Recorder
+	// semantics: zero means default, negative MemEvery disables).
+	Cap      int
+	MemEvery int
+
+	mu sync.Mutex
+	m  map[uint64]*Recorder
+}
+
+// Recorder returns the recorder for the replicate seeded with seed,
+// creating it on first use.
+func (t *Tracer) Recorder(seed uint64) *Recorder {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[uint64]*Recorder)
+	}
+	r := t.m[seed]
+	if r == nil {
+		r = &Recorder{Cap: t.Cap, MemEvery: t.MemEvery}
+		t.m[seed] = r
+	}
+	return r
+}
+
+// Take removes and returns the recorder for seed, or nil if none was
+// ever created (e.g. a resumed replicate that never ran this process).
+func (t *Tracer) Take(seed uint64) *Recorder {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.m[seed]
+	delete(t.m, seed)
+	return r
+}
+
+// Len is the number of outstanding (not yet taken) recorders.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

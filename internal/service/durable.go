@@ -116,11 +116,15 @@ func (s *Server) restore(rs *replayState) {
 		for _, rec := range rj.records {
 			done[rec.Rep] = rec
 		}
-		admitted := s.queue.TryEnqueue(ctx, rj.spec.MCJob(), mc.RunOpts{
+		// buildMCJob re-attaches tracing for traced jobs: the adopted prefix
+		// keeps no traces (they are in-memory only), but the re-executed
+		// suffix is traced like any fresh run.
+		job, onProgress := s.buildMCJob(j)
+		admitted := s.queue.TryEnqueue(ctx, job, mc.RunOpts{
 			Done:       done,
 			Sink:       s.jobSink(j),
 			OnStart:    func() { j.setRunning(); s.journalRunning(j); s.publishJob(j) },
-			OnProgress: s.jobProgress(j),
+			OnProgress: onProgress,
 		}, func(_ []mc.Record, err error) {
 			s.finishJob(j, err)
 			cancel()

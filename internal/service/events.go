@@ -32,6 +32,8 @@ import (
 //	hello     initial snapshot sent to a new subscriber (Jobs, Backlog)
 //	job       a job changed lifecycle state (Job holds the snapshot)
 //	progress  a running job completed replicates (throttled; Done/Total)
+//	round     sampled round-level progress of a traced job's replicate 0
+//	          (throttled; Round/Bias/CMax — see trace.go)
 //	deleted   a job was deleted (ID)
 //	shutdown  the server is draining; the stream ends after this event
 type Event struct {
@@ -52,6 +54,11 @@ type Event struct {
 	// Rounds is the round count of the replicate that triggered this
 	// progress event (throughput numerator for rounds/sec).
 	Rounds int `json:"rounds,omitempty"`
+	// Round/Bias/CMax ride on "round" events: the completed round number
+	// and convergence state of a traced job's replicate 0.
+	Round int   `json:"round,omitempty"`
+	Bias  int64 `json:"bias,omitempty"`
+	CMax  int64 `json:"c_max,omitempty"`
 	// Engine/Rule label progress events for per-engine throughput.
 	Engine string `json:"engine,omitempty"`
 	Rule   string `json:"rule,omitempty"`

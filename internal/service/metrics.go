@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"plurality/internal/service/promtext"
 )
@@ -42,6 +43,11 @@ type engineRule struct{ engine, rule string }
 // up to just past MaxMaxRounds.
 var roundsBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216}
 
+// roundDurBuckets are the per-round wall-time histogram bounds in
+// seconds: decades from 1µs (a count-based engine round) to 100s (a
+// worst-case n=10⁹ agent-level round).
+var roundDurBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100}
+
 // histogram is a fixed-bucket histogram; counts are per-bucket and
 // cumulated at encode time.
 type histogram struct {
@@ -62,6 +68,17 @@ func (h *histogram) observe(v float64) {
 	h.count++
 }
 
+// merge folds another histogram with identical bounds into this one —
+// how per-replicate round-duration histograms (filled lock-free on the
+// worker) land in the registry with one lock acquisition per replicate.
+func (h *histogram) merge(o *histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.sum += o.sum
+	h.count += o.count
+}
+
 // serverMetrics is the registry. All methods are nil-safe so bare
 // stores and jobStates built by unit tests need no registry. The mutex
 // is a leaf lock: it is taken inside jobState/store critical sections
@@ -79,6 +96,7 @@ type serverMetrics struct {
 	resumed    map[engineRule]int64
 	rounds     map[engineRule]int64
 	roundsHist *histogram
+	roundDur   *histogram // per-round wall time of traced replicates, seconds
 
 	journalFsyncs  int64
 	journalBytes   int64
@@ -98,7 +116,20 @@ func newServerMetrics() *serverMetrics {
 		resumed:    map[engineRule]int64{},
 		rounds:     map[engineRule]int64{},
 		roundsHist: newHistogram(roundsBuckets),
+		roundDur:   newHistogram(roundDurBuckets),
 	}
+}
+
+// mergeRoundDur folds one traced replicate's round-duration histogram
+// into the registry (fired once per finished traced replicate, from the
+// mc coordinating goroutine).
+func (m *serverMetrics) mergeRoundDur(h *histogram) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.roundDur.merge(h)
 }
 
 // jobTransition moves one job between lifecycle gauge states; an empty
@@ -352,6 +383,11 @@ type scrapeGauges struct {
 	workers      int
 	draining     bool
 	sseClients   int
+	// workerBusy/workerTasks are the pool's cumulative per-worker
+	// utilization counters (mc.Pool.WorkerBusy / WorkerTasks), read at
+	// scrape time like the other live values.
+	workerBusy  []time.Duration
+	workerTasks []int64
 }
 
 // encode renders the whole scrape.
@@ -399,6 +435,22 @@ func (m *serverMetrics) encode(b *strings.Builder, g scrapeGauges) {
 	writeFamily(b, "pluralityd_workers", "gauge",
 		"Parallelism of the shared replicate pool.",
 		[]sample{{value: float64(g.workers)}})
+	busySamples := make([]sample, 0, len(g.workerBusy))
+	taskSamples := make([]sample, 0, len(g.workerTasks))
+	for w, d := range g.workerBusy {
+		busySamples = append(busySamples, sample{
+			labels: [][2]string{{"worker", strconv.Itoa(w)}}, value: d.Seconds()})
+	}
+	for w, n := range g.workerTasks {
+		taskSamples = append(taskSamples, sample{
+			labels: [][2]string{{"worker", strconv.Itoa(w)}}, value: float64(n)})
+	}
+	writeFamily(b, "pluralityd_worker_busy_seconds_total", "counter",
+		"Cumulative busy time of each pool worker (rate against wall time for per-worker utilization).",
+		busySamples)
+	writeFamily(b, "pluralityd_worker_tasks_total", "counter",
+		"Cumulative replicates executed by each pool worker.",
+		taskSamples)
 	writeFamily(b, "pluralityd_draining", "gauge",
 		"1 while the server refuses new submissions ahead of shutdown.",
 		[]sample{{value: bool01(g.draining)}})
@@ -415,6 +467,9 @@ func (m *serverMetrics) encode(b *strings.Builder, g scrapeGauges) {
 	writeFamily(b, "pluralityd_replicate_rounds", "histogram",
 		"Rounds per executed replicate.",
 		histSamples(m.roundsHist))
+	writeFamily(b, "pluralityd_round_duration_seconds", "histogram",
+		"Wall time per simulated round of traced replicates (jobs submitted with \"trace\": true).",
+		histSamples(m.roundDur))
 
 	writeFamily(b, "pluralityd_journal_fsyncs_total", "counter",
 		"Successful journal fsync barriers (submission acks, batched record syncs, terminal transitions).",
@@ -448,6 +503,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		workers:      s.pool.Workers(),
 		draining:     s.draining.Load(),
 		sseClients:   s.hub.clients(),
+		workerBusy:   s.pool.WorkerBusy(),
+		workerTasks:  s.pool.WorkerTasks(),
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))

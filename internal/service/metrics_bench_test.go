@@ -1,0 +1,50 @@
+package service_test
+
+// Scrape-cost benchmark and allocation audit for GET /metrics: the
+// exposition is rebuilt per scrape from the registry and the live
+// gauges, so this pins what a Prometheus server at a typical 15s
+// interval costs pluralityd. The measured number (and allocs/op) is
+// recorded in BENCH_BASELINE.txt; the CI bench job watches it for
+// regressions like any other benchmark.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"plurality/internal/service"
+)
+
+// BenchmarkMetricsScrape measures one full /metrics render through the
+// handler — registry encode, worker-utilization snapshot, and the
+// response write — on a server that has seen real traffic, so every
+// labelled family is materialized.
+func BenchmarkMetricsScrape(b *testing.B) {
+	s, err := service.New(service.Options{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	// Seed the registry: one traced sync job materializes the per-engine
+	// counters, both histograms, and the submission/finish families.
+	spec := service.JobSpec{Rule: "3majority", Engine: "sampled", N: 10_000, K: 3,
+		Bias: "0", Seed: 7, Replicates: 3, MaxRounds: 20, Trace: true}
+	body, _ := json.Marshal(spec)
+	sub := httptest.NewRecorder()
+	s.ServeHTTP(sub, httptest.NewRequest(http.MethodPost, "/v1/jobs?wait=1", bytes.NewReader(body)))
+	if sub.Code != http.StatusOK {
+		b.Fatalf("seed job: status %d (%s)", sub.Code, sub.Body)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+		if w.Code != http.StatusOK {
+			b.Fatalf("scrape: status %d", w.Code)
+		}
+	}
+}

@@ -66,28 +66,31 @@ func famValue(t *testing.T, fams map[string]*promtext.Family, family string, lab
 // carries HELP text — on a fresh server and after traffic.
 func TestMetricsScrapeShape(t *testing.T) {
 	wantType := map[string]string{
-		"pluralityd_jobs":                     "gauge",
-		"pluralityd_jobs_finished_total":      "counter",
-		"pluralityd_jobs_submitted_total":     "counter",
-		"pluralityd_rejections_total":         "counter",
-		"pluralityd_jobs_deleted_total":       "counter",
-		"pluralityd_jobs_evicted_total":       "counter",
-		"pluralityd_queue_depth":              "gauge",
-		"pluralityd_queue_backlog_limit":      "gauge",
-		"pluralityd_sync_slots_in_use":        "gauge",
-		"pluralityd_sync_slots_limit":         "gauge",
-		"pluralityd_workers":                  "gauge",
-		"pluralityd_draining":                 "gauge",
-		"pluralityd_replicates_total":         "counter",
-		"pluralityd_replicates_resumed_total": "counter",
-		"pluralityd_rounds_total":             "counter",
-		"pluralityd_replicate_rounds":         "histogram",
-		"pluralityd_journal_fsyncs_total":     "counter",
-		"pluralityd_journal_bytes_total":      "counter",
-		"pluralityd_journal_repairs_total":    "counter",
-		"pluralityd_sse_clients":              "gauge",
-		"pluralityd_sse_events_total":         "counter",
-		"pluralityd_sse_dropped_total":        "counter",
+		"pluralityd_jobs":                      "gauge",
+		"pluralityd_jobs_finished_total":       "counter",
+		"pluralityd_jobs_submitted_total":      "counter",
+		"pluralityd_rejections_total":          "counter",
+		"pluralityd_jobs_deleted_total":        "counter",
+		"pluralityd_jobs_evicted_total":        "counter",
+		"pluralityd_queue_depth":               "gauge",
+		"pluralityd_queue_backlog_limit":       "gauge",
+		"pluralityd_sync_slots_in_use":         "gauge",
+		"pluralityd_sync_slots_limit":          "gauge",
+		"pluralityd_workers":                   "gauge",
+		"pluralityd_worker_busy_seconds_total": "counter",
+		"pluralityd_worker_tasks_total":        "counter",
+		"pluralityd_draining":                  "gauge",
+		"pluralityd_replicates_total":          "counter",
+		"pluralityd_replicates_resumed_total":  "counter",
+		"pluralityd_rounds_total":              "counter",
+		"pluralityd_replicate_rounds":          "histogram",
+		"pluralityd_round_duration_seconds":    "histogram",
+		"pluralityd_journal_fsyncs_total":      "counter",
+		"pluralityd_journal_bytes_total":       "counter",
+		"pluralityd_journal_repairs_total":     "counter",
+		"pluralityd_sse_clients":               "gauge",
+		"pluralityd_sse_events_total":          "counter",
+		"pluralityd_sse_dropped_total":         "counter",
 	}
 	s, ts := boot(t, service.Options{Workers: 2})
 	defer func() { ts.Close(); s.Close() }()
@@ -137,6 +140,20 @@ func TestMetricsScrapeShape(t *testing.T) {
 	}
 	if got := famValue(t, fams, "pluralityd_jobs_submitted_total", map[string]string{"path": "sync"}); got != 1 {
 		t.Fatalf("jobs_submitted_total{path=sync} = %v, want 1", got)
+	}
+	// The pool utilization counters are cumulative over the process-wide
+	// shared pool, so other tests may have contributed — but the 5
+	// replicates just executed must be included.
+	var poolTasks float64
+	for _, s := range fams["pluralityd_worker_tasks_total"].Samples {
+		poolTasks += s.Value
+	}
+	if poolTasks < 5 {
+		t.Fatalf("sum of worker_tasks_total = %v, want >= 5", poolTasks)
+	}
+	// An untraced job must not feed the round-duration histogram.
+	if got, ok := fams["pluralityd_round_duration_seconds"].Value("pluralityd_round_duration_seconds_count", nil); !ok || got != 0 {
+		t.Fatalf("round_duration_seconds_count = %v, %v; want 0 without traced jobs", got, ok)
 	}
 }
 

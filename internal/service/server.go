@@ -21,6 +21,7 @@
 //	GET    /v1/jobs              list all jobs
 //	GET    /v1/jobs/{id}         poll one job
 //	GET    /v1/jobs/{id}/records JSONL records; ?follow=1 streams until terminal
+//	GET    /v1/jobs/{id}/trace   JSONL telemetry traces of a job submitted with "trace": true (trace.go)
 //	POST   /v1/jobs/{id}/cancel  cancel a queued or running job
 //	DELETE /v1/jobs/{id}         delete a terminal job and its records
 //	GET    /healthz              liveness + queue depth + draining flag
@@ -181,6 +182,7 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/records", s.handleRecords)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -359,7 +361,8 @@ func (s *Server) submitSync(w http.ResponseWriter, r *http.Request, spec JobSpec
 	j.setRunning()
 	s.journalRunning(j)
 	s.publishJob(j)
-	_, err := s.pool.Run(ctx, spec.MCJob(), mc.RunOpts{Sink: s.jobSink(j), OnProgress: s.jobProgress(j)})
+	job, onProgress := s.buildMCJob(j)
+	_, err := s.pool.Run(ctx, job, mc.RunOpts{Sink: s.jobSink(j), OnProgress: onProgress})
 	s.finishJob(j, err)
 	info := j.info()
 	status := http.StatusOK
@@ -382,10 +385,11 @@ func (s *Server) submitAsync(w http.ResponseWriter, spec JobSpec) {
 		writeError(w, http.StatusInternalServerError, "could not journal the submission: %v", err)
 		return
 	}
-	admitted := s.queue.TryEnqueue(ctx, spec.MCJob(), mc.RunOpts{
+	job, onProgress := s.buildMCJob(j)
+	admitted := s.queue.TryEnqueue(ctx, job, mc.RunOpts{
 		Sink:       s.jobSink(j),
 		OnStart:    func() { j.setRunning(); s.journalRunning(j); s.publishJob(j) },
-		OnProgress: s.jobProgress(j),
+		OnProgress: onProgress,
 	}, func(_ []mc.Record, err error) {
 		s.finishJob(j, err)
 		// Release the context registration on baseCtx; without this every

@@ -13,6 +13,7 @@ import (
 	"plurality/internal/engine"
 	"plurality/internal/graph"
 	"plurality/internal/mc"
+	"plurality/internal/obs"
 	"plurality/internal/rng"
 	"plurality/internal/topo"
 )
@@ -96,6 +97,15 @@ type JobSpec struct {
 	// golden, but not draw-compatible with default). Only meaningful for
 	// Engine == "graph".
 	Sampler string `json:"sampler,omitempty"`
+	// Trace enables run-level telemetry capture: the first replicates of
+	// the job run with an obs.Recorder attached and their JSONL traces are
+	// served by GET /v1/jobs/{id}/trace. Tracing never influences the
+	// records (observers consume zero rng — see internal/obs), so Trace is
+	// deliberately excluded from Name(): a traced job's record stream is
+	// byte-identical to the untraced submission. Traces live in memory
+	// only — they are not journaled, and a crash-resumed job does not
+	// recreate the prefix it adopted.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Normalize fills defaulted fields in place. It is idempotent and must be
@@ -362,6 +372,19 @@ func (s *JobSpec) mustGraph() graph.Graph {
 // MCJob compiles the spec into the mc.Job executed on the worker pool.
 // The spec must have passed Validate.
 func (s *JobSpec) MCJob() mc.Job {
+	return s.mcJob(nil)
+}
+
+// MCJobTraced is MCJob with per-replicate telemetry: each replicate asks
+// obsFor for an observer keyed by its private seed and, when one is
+// returned, runs with it attached. Because observers consume zero rng
+// (the obs.Observer contract), the records are byte-identical to
+// MCJob's — only the side-channel telemetry differs.
+func (s *JobSpec) MCJobTraced(obsFor func(seed uint64) obs.Observer) mc.Job {
+	return s.mcJob(obsFor)
+}
+
+func (s *JobSpec) mcJob(obsFor func(seed uint64) obs.Observer) mc.Job {
 	spec := *s // detach from the caller's copy
 	bias, err := spec.biasValue()
 	if err != nil {
@@ -392,7 +415,11 @@ func (s *JobSpec) MCJob() mc.Job {
 			}
 			eng := spec.buildEngine(init, g, r)
 			defer eng.Close()
-			res := core.Run(eng, core.Options{MaxRounds: maxRounds, Rand: r})
+			opts := core.Options{MaxRounds: maxRounds, Rand: r}
+			if obsFor != nil {
+				opts.Observer = obsFor(seed)
+			}
+			res := core.Run(eng, opts)
 			return mc.Record{Rounds: res.Rounds, Success: res.WonInitialPlurality}
 		}
 	}

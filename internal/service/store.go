@@ -78,6 +78,10 @@ type jobState struct {
 	cond  *sync.Cond
 	state State
 	recs  []mc.Record
+	// trace accumulates the JSONL traces of a traced job's finished
+	// replicates (spec.Trace; see trace.go). In-memory only: never
+	// journaled, dropped on eviction.
+	trace []byte
 	err   error
 	// userCancel records that cancellation was requested through the API
 	// (as opposed to server drain/shutdown, which must stay resumable).
@@ -120,6 +124,22 @@ func (j *jobState) appendRecord(rec mc.Record) error {
 	j.recs = append(j.recs, rec)
 	j.cond.Broadcast()
 	return nil
+}
+
+// appendTrace folds one finished traced replicate's JSONL trace into
+// the job's in-memory trace buffer.
+func (j *jobState) appendTrace(b []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.trace = append(j.trace, b...)
+}
+
+// traceSnapshot copies the traces captured so far (empty when nothing
+// has finished yet, or after eviction).
+func (j *jobState) traceSnapshot() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]byte(nil), j.trace...)
 }
 
 // finish moves the job to its terminal state from the run's outcome.
@@ -210,6 +230,7 @@ func (j *jobState) evict() {
 	info.Evicted = true
 	j.tomb = &info
 	j.recs = nil
+	j.trace = nil // traces have no journal backing; eviction is final
 	j.evicted = true
 	j.met.jobEvicted()
 }

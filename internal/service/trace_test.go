@@ -1,0 +1,244 @@
+package service_test
+
+// Black-box tests of the traced-job surface: GET /v1/jobs/{id}/trace,
+// the byte-reproducibility guarantee (tracing never changes records),
+// the round-duration metrics feed, and the concurrency of SSE round
+// events against ?follow=1 record streaming (the -race certification
+// for the telemetry fan-out).
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"plurality/internal/obs"
+	"plurality/internal/service"
+)
+
+// tracedSpec is small enough for the sync path but has a few replicates
+// and enough rounds to produce non-trivial traces.
+func tracedSpec() service.JobSpec {
+	return service.JobSpec{Rule: "3majority", Engine: "sampled", N: 20_000, K: 3,
+		Bias: "0", Seed: 31, Replicates: 4, MaxRounds: 30, Trace: true}
+}
+
+func traceBody(t *testing.T, ts *httptest.Server, id string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, resp.StatusCode
+}
+
+// TestTracedJob submits a traced job, reads its traces back through the
+// API, and pins the whole contract: one parsed run per traced
+// replicate, headers tied to the job, per-run round counts matching the
+// replicate's record, records byte-identical to the untraced
+// submission, and the round-duration histogram fed.
+func TestTracedJob(t *testing.T) {
+	s, ts := boot(t, service.Options{Workers: 2})
+	defer func() { ts.Close(); s.Close() }()
+
+	spec := tracedSpec()
+	status, info, raw := submit(t, ts, spec, "?wait=1")
+	if status != http.StatusOK || info.State != service.StateDone {
+		t.Fatalf("traced submit: status %d state %s (%s)", status, info.State, raw)
+	}
+	body, code := traceBody(t, ts, info.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET trace: status %d (%s)", code, body)
+	}
+	traces, skipped, err := obs.ReadTraces(bytes.NewReader(body))
+	if err != nil || skipped != 0 {
+		t.Fatalf("parsing traces: err=%v skipped=%d", err, skipped)
+	}
+	if len(traces) != spec.Replicates {
+		t.Fatalf("got %d traces, want %d (all replicates are under the traced-prefix cap)", len(traces), spec.Replicates)
+	}
+	// Records arrive in replicate order, so the trace runs do too.
+	recs := strings.Count(string(recordBytes(t, ts, info.ID)), "\n")
+	if recs != spec.Replicates {
+		t.Fatalf("job has %d records, want %d", recs, spec.Replicates)
+	}
+	seenRep := map[int]bool{}
+	for _, tr := range traces {
+		if tr.Header.Job == "" || tr.Header.N != spec.N || tr.Header.K != spec.K {
+			t.Fatalf("trace header %+v not tied to the job", tr.Header)
+		}
+		if tr.Header.Engine != "sampled" || tr.Header.Rule != "3majority" {
+			t.Fatalf("trace header engine/rule = %s/%s", tr.Header.Engine, tr.Header.Rule)
+		}
+		if seenRep[tr.Header.Rep] {
+			t.Fatalf("duplicate trace for rep %d", tr.Header.Rep)
+		}
+		seenRep[tr.Header.Rep] = true
+		if tr.Summary == nil {
+			t.Fatal("trace run has no summary line")
+		}
+		if tr.Summary.Rounds < 1 || tr.Summary.Rounds > spec.MaxRounds {
+			t.Fatalf("rep %d summary rounds %d outside [1, %d]", tr.Header.Rep, tr.Summary.Rounds, spec.MaxRounds)
+		}
+		if len(tr.Rounds) != tr.Summary.Retained {
+			t.Fatalf("rep %d has %d round lines, summary says %d retained", tr.Header.Rep, len(tr.Rounds), tr.Summary.Retained)
+		}
+		last := tr.Rounds[len(tr.Rounds)-1]
+		if last.CMax <= 0 || last.CMax > spec.N {
+			t.Fatalf("rep %d implausible final c_max %d", tr.Header.Rep, last.CMax)
+		}
+	}
+
+	// Tracing is a side channel: the untraced twin must produce
+	// byte-identical records.
+	plain := spec
+	plain.Trace = false
+	status2, info2, raw2 := submit(t, ts, plain, "?wait=1")
+	if status2 != http.StatusOK {
+		t.Fatalf("untraced submit: status %d (%s)", status2, raw2)
+	}
+	if info2.Name != info.Name {
+		t.Fatalf("trace flag changed the job name: %q vs %q", info2.Name, info.Name)
+	}
+	if a, b := recordBytes(t, ts, info.ID), recordBytes(t, ts, info2.ID); !bytes.Equal(a, b) {
+		t.Fatalf("traced records diverged from untraced:\n%s\nvs\n%s", a, b)
+	}
+	if _, code := traceBody(t, ts, info2.ID); code != http.StatusNotFound {
+		t.Fatalf("GET trace on untraced job: status %d, want 404", code)
+	}
+
+	// The traced rounds must have fed the duration histogram.
+	fams := scrapeMetrics(t, ts)
+	if got, ok := fams["pluralityd_round_duration_seconds"].Value("pluralityd_round_duration_seconds_count", nil); !ok || got < 1 {
+		t.Fatalf("round_duration_seconds_count = %v, %v; want >= 1 after a traced job", got, ok)
+	}
+}
+
+// TestTracedJobConcurrentStreams is the -race certification of the
+// telemetry fan-out: while a traced async job runs, one client follows
+// the record stream (?follow=1), another consumes the SSE event stream
+// (which carries the sampled "round" events), and a third polls the
+// trace endpoint — all concurrently with the workers publishing rounds
+// and the coordinator folding finished traces.
+func TestTracedJobConcurrentStreams(t *testing.T) {
+	s, ts := boot(t, service.Options{Workers: 2, Executors: 2})
+	defer func() { ts.Close(); s.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Subscribe to the SSE stream before submitting: the job's first
+	// round event fires as soon as replicate 0 starts stepping, and a
+	// subscription opened after submission could miss it.
+	sseReq, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/events", nil)
+	sseResp, err := http.DefaultClient.Do(sseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	sse := bufio.NewScanner(sseResp.Body)
+	for sse.Scan() { // handshake: the per-subscriber hello snapshot
+		if strings.HasPrefix(sse.Text(), "event: hello") {
+			break
+		}
+	}
+
+	spec := service.JobSpec{Rule: "3majority", Engine: "sampled", N: 50_000, K: 3,
+		Bias: "0", Seed: 33, Replicates: 8, MaxRounds: 40, Trace: true}
+	status, info, raw := submit(t, ts, spec, "?wait=0")
+	if status != http.StatusAccepted {
+		t.Fatalf("async traced submit: status %d (%s)", status, raw)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+
+	// Follow the record stream until the job turns terminal.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+info.ID+"/records?follow=1", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer resp.Body.Close()
+		n, err := io.Copy(io.Discard, resp.Body)
+		if err != nil {
+			errs <- err
+			return
+		}
+		if n == 0 {
+			errs <- io.ErrUnexpectedEOF
+		}
+	}()
+
+	// Consume the SSE stream until the job's terminal event arrives.
+	wg.Add(1)
+	sawRound := make(chan bool, 1)
+	go func() {
+		defer wg.Done()
+		round := false
+		for sse.Scan() {
+			line := sse.Text()
+			if strings.HasPrefix(line, "event: round") {
+				round = true
+			}
+			if strings.Contains(line, `"state":"done"`) && strings.Contains(line, `"id":"`+info.ID+`"`) {
+				break
+			}
+		}
+		sawRound <- round
+	}()
+
+	// Poll the trace endpoint while traces accumulate.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, code := traceBody(t, ts, info.ID); code != http.StatusOK {
+				errs <- io.ErrUnexpectedEOF
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	done := waitJob(t, ts, info.ID, "done", func(i service.JobInfo) bool { return i.State == service.StateDone })
+	if done.Records != spec.Replicates {
+		t.Fatalf("traced job finished with %d records, want %d", done.Records, spec.Replicates)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent stream: %v", err)
+	}
+	// The first traced round always publishes (throttling starts after
+	// it), so the SSE stream must have carried at least one round event.
+	if !<-sawRound {
+		t.Error("SSE stream carried no round event for the traced job")
+	}
+	body, code := traceBody(t, ts, info.ID)
+	if code != http.StatusOK {
+		t.Fatalf("final GET trace: status %d", code)
+	}
+	traces, skipped, err := obs.ReadTraces(bytes.NewReader(body))
+	if err != nil || skipped != 0 {
+		t.Fatalf("parsing final traces: err=%v skipped=%d", err, skipped)
+	}
+	if len(traces) != spec.Replicates {
+		t.Fatalf("got %d traces, want %d", len(traces), spec.Replicates)
+	}
+}

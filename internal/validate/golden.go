@@ -9,6 +9,7 @@ import (
 	"plurality/internal/dynamics"
 	"plurality/internal/engine"
 	"plurality/internal/graph"
+	"plurality/internal/obs"
 	"plurality/internal/rng"
 	"plurality/internal/topo"
 )
@@ -183,9 +184,25 @@ func StandardGoldenSpecs() []GoldenSpec {
 // the initial configuration) listing the color counts. The bytes are a
 // pure function of the spec.
 func TraceBytes(spec GoldenSpec) []byte {
+	return traceBytes(spec, nil)
+}
+
+// TraceBytesObserved is TraceBytes with o attached to the engine for the
+// whole run. Because observers are handed no rng (obs.Observer's
+// contract), the returned bytes must equal TraceBytes(spec) for every
+// spec — the certification the golden suite runs over all committed
+// traces to pin the zero-cost-when-off telemetry contract.
+func TraceBytesObserved(spec GoldenSpec, o obs.Observer) []byte {
+	return traceBytes(spec, o)
+}
+
+func traceBytes(spec GoldenSpec, o obs.Observer) []byte {
 	r := rng.New(spec.Seed)
 	e := spec.NewEngine(spec.Initial.Clone(), r)
 	defer e.Close()
+	if o != nil {
+		engine.Observe(e, o)
+	}
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "# golden %s n=%d k=%d seed=%d rounds=%d\n",
 		spec.Name, spec.Initial.N(), spec.Initial.K(), spec.Seed, spec.Rounds)
